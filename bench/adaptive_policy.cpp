@@ -1,0 +1,169 @@
+// Extension bench: adaptive migration-function selection vs the fixed
+// Figure-1 schemes.
+//
+// The paper closes by noting the migration unit can change its function
+// at runtime. This bench quantifies what that buys: for each chip
+// configuration it simulates a long run of migration periods where a
+// policy picks the transform before every period — either by
+// model-predictive lookahead (predictive-peak) or from temperature
+// sensors (coolest-history) — and compares the settled peak temperature
+// against the best fixed scheme from Figure 1.
+#include <iostream>
+#include <map>
+
+#include "core/adaptive_policy.hpp"
+#include "core/experiment.hpp"
+#include "core/migration_controller.hpp"
+#include "core/thermal_runtime.hpp"
+#include "ldpc/noc_decoder.hpp"
+#include "power/power_map.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace renoc {
+namespace {
+
+struct AdaptiveRun {
+  double settled_peak_c = 0.0;
+  std::map<TransformKind, int> choices;
+};
+
+/// Simulates `periods` migration periods under `policy`, tracking the
+/// accumulated placement permutation and integrating the thermal RC
+/// network through each period. Migration energy per event uses the
+/// per-transform maps measured on the real fabric (passed in).
+AdaptiveRun run_adaptive(
+    const ExperimentDriver& driver, AdaptivePolicy& policy,
+    const std::map<TransformKind, std::vector<double>>& energy_maps,
+    double period_s, int periods) {
+  const RcNetwork& net = driver.thermal_network();
+  const GridDim dim = driver.chip().config.dim;
+
+  const int steps_per_period = 50;
+  TransientSolver transient(net, period_s / steps_per_period);
+  transient.set_state_to_steady(driver.base_power());
+
+  std::vector<int> accumulated = identity_permutation(dim.node_count());
+  AdaptiveRun result;
+  double settled_peak = 0.0;
+
+  for (int p = 0; p < periods; ++p) {
+    // Physical power map of the current placement.
+    const std::vector<double> power =
+        apply_permutation(driver.base_power(), accumulated);
+
+    const Transform chosen = policy.choose(power, transient.state());
+    ++result.choices[chosen.kind];
+    accumulated =
+        compose_permutations(accumulated, chosen.permutation(dim));
+    const std::vector<double> new_power =
+        apply_permutation(driver.base_power(), accumulated);
+
+    // Integrate the period; deposit the migration energy in the first
+    // step (identity choices cost nothing).
+    double period_peak = 0.0;
+    for (int s = 0; s < steps_per_period; ++s) {
+      if (s == 0 && chosen.kind != TransformKind::kIdentity) {
+        auto it = energy_maps.find(chosen.kind);
+        RENOC_CHECK(it != energy_maps.end());
+        std::vector<double> spiked = new_power;
+        for (std::size_t i = 0; i < spiked.size(); ++i)
+          spiked[i] += it->second[i] / transient.dt();
+        transient.step_die_power(spiked);
+      } else {
+        transient.step_die_power(new_power);
+      }
+      period_peak = std::max(
+          period_peak, net.ambient() + net.peak_die_rise(transient.state()));
+    }
+    // Report the max over the last fifth of the run: the start state is
+    // the *static* steady state, whose hot-tile excess needs several die
+    // time constants (~30-40 periods) to decay.
+    if (p >= periods - periods / 5)
+      settled_peak = std::max(settled_peak, period_peak);
+  }
+  result.settled_peak_c = settled_peak;
+  return result;
+}
+
+int run() {
+  Table t({"Config", "Best fixed (scheme)", "Best fixed peak (C)",
+           "Orbit-avg (C)", "Predictive (C)", "Sensor (C)",
+           "Orbit-avg picks", "Predictive migrations"});
+  t.set_title("Adaptive migration-function selection vs fixed schemes "
+              "(150 periods, settled peak)");
+
+  for (const ChipConfig& cfg : all_configs()) {
+    ExperimentDriver driver(cfg);
+    driver.prepare();
+    const double period = driver.default_period_s();
+
+    // Best fixed scheme at this period, plus per-transform energy maps.
+    double best_fixed = 1e300;
+    MigrationScheme best_scheme = MigrationScheme::kNone;
+    std::map<TransformKind, std::vector<double>> energy_maps;
+    for (MigrationScheme scheme : figure1_schemes()) {
+      const SchemeEvaluation ev = driver.evaluate_scheme(scheme, period);
+      if (ev.peak_temp_c < best_fixed) {
+        best_fixed = ev.peak_temp_c;
+        best_scheme = scheme;
+      }
+      // Measure one migration's energy map for this transform on a fresh
+      // fabric (for the adaptive run's spikes).
+      Fabric fabric(cfg.noc);
+      NocLdpcDecoder decoder(fabric, driver.chip().code,
+                             driver.chip().partition,
+                             driver.baseline_placement(), cfg.ldpc_params);
+      std::vector<int> words(
+          static_cast<std::size_t>(decoder.cluster_count()));
+      for (int c = 0; c < decoder.cluster_count(); ++c)
+        words[static_cast<std::size_t>(c)] = decoder.migration_state_words(c);
+      MigrationController controller(fabric, transform_of(scheme));
+      std::vector<int> placement = driver.baseline_placement();
+      controller.migrate(placement, words);
+      const EnergyModel energy(cfg.energy);
+      std::vector<double> e_map(static_cast<std::size_t>(fabric.node_count()));
+      for (int tile = 0; tile < fabric.node_count(); ++tile)
+        e_map[static_cast<std::size_t>(tile)] =
+            driver.calibration_scale() *
+            energy.tile_dynamic_energy(fabric.stats().tile(tile));
+      energy_maps[transform_of(scheme).kind] = std::move(e_map);
+    }
+
+    AdaptivePolicy orbit(driver.thermal_network(), cfg.dim,
+                         AdaptiveObjective::kOrbitAverage, period);
+    AdaptivePolicy predictive(driver.thermal_network(), cfg.dim,
+                              AdaptiveObjective::kPredictivePeak, period);
+    AdaptivePolicy sensor(driver.thermal_network(), cfg.dim,
+                          AdaptiveObjective::kCoolestHistory, period);
+    const AdaptiveRun o = run_adaptive(driver, orbit, energy_maps, period, 150);
+    const AdaptiveRun g =
+        run_adaptive(driver, predictive, energy_maps, period, 150);
+    const AdaptiveRun s = run_adaptive(driver, sensor, energy_maps, period, 150);
+
+    std::string picks;
+    for (const auto& [kind, count] : o.choices)
+      picks += std::string(to_string(kind)) + ":" + std::to_string(count) + " ";
+    int predictive_migrations = 0;
+    for (const auto& [kind, count] : g.choices)
+      if (kind != TransformKind::kIdentity) predictive_migrations += count;
+
+    t.add_row({cfg.name, to_string(best_scheme), Table::num(best_fixed),
+               Table::num(o.settled_peak_c), Table::num(g.settled_peak_c),
+               Table::num(s.settled_peak_c), picks,
+               std::to_string(predictive_migrations) + "/150"});
+  }
+  t.print(std::cout);
+  std::cout << "\nOrbit-average selection lands on (or near) the best fixed "
+               "scheme per chip with no offline\nanalysis. The reactive "
+               "policies (predictive lookahead, sensors) typically *beat* "
+               "the best\nfixed scheme while migrating in only a fraction "
+               "of the periods — they move exactly when\nthe thermal state "
+               "makes it profitable.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace renoc
+
+int main() { return renoc::run(); }

@@ -1,0 +1,76 @@
+// Ablation: thermal-model resolution (block model vs refined grid).
+//
+// The paper's experiments (and ours) use HotSpot's block-level model —
+// one thermal node per PE. This bench subdivides every tile into
+// refine x refine sub-blocks and reruns the key comparisons to show the
+// conclusions are resolution-robust:
+//   1. baseline peak temperature of configuration A's calibrated power
+//      map at refine = 1..4 (with solver cost), and
+//   2. the Figure-1 orbit-average reductions for rotation and X-Y shift
+//      at refine = 1 vs refine = 3 — the scheme ordering must not change.
+#include <chrono>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "power/power_map.hpp"
+#include "thermal/grid_refine.hpp"
+#include "util/table.hpp"
+
+namespace renoc {
+namespace {
+
+double orbit_avg_peak(const RefinedThermalModel& model,
+                      const std::vector<double>& tile_power,
+                      MigrationScheme scheme, const GridDim& dim) {
+  const auto orbit = orbit_permutations(transform_of(scheme), dim);
+  std::vector<std::vector<double>> maps;
+  for (const auto& perm : orbit)
+    maps.push_back(apply_permutation(tile_power, perm));
+  return model.peak_tile_temperature(average_maps(maps));
+}
+
+int run() {
+  ExperimentDriver driver(config_A());
+  driver.prepare();
+  const GridDim dim = driver.chip().config.dim;
+  const HotSpotParams params = driver.chip().config.hotspot;
+
+  Table res({"Refine", "Die nodes", "Total nodes", "Base peak (C)",
+             "Rot reduction (C)", "X-Y Shift reduction (C)",
+             "Solve (ms)"});
+  res.set_title(
+      "Thermal resolution ablation, configuration A (orbit-average "
+      "steady peaks)");
+
+  for (int refine : {1, 2, 3, 4}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RefinedThermalModel model(dim, date05_tile_area(), params, refine);
+    const double base = model.peak_tile_temperature(driver.base_power());
+    const double rot =
+        base - orbit_avg_peak(model, driver.base_power(),
+                              MigrationScheme::kRotation, dim);
+    const double shift =
+        base - orbit_avg_peak(model, driver.base_power(),
+                              MigrationScheme::kShiftXY, dim);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    res.add_row({std::to_string(refine),
+                 std::to_string(model.fine_dim().node_count()),
+                 std::to_string(model.network().node_count()),
+                 Table::num(base), Table::num(rot), Table::num(shift),
+                 Table::num(ms, 1)});
+  }
+  res.print(std::cout);
+  std::cout << "\nThe block model (refine=1) and the refined grids must "
+               "agree on the scheme ordering\nand closely on the "
+               "magnitudes; sub-block resolution only sharpens intra-tile "
+               "gradients.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace renoc
+
+int main() { return renoc::run(); }

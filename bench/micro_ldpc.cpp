@@ -1,0 +1,89 @@
+// Microbenchmarks for the LDPC stack: code construction, encoding, the
+// golden decoder, and a full cycle-accurate NoC block decode (the unit of
+// work behind every power-map measurement in the paper pipeline).
+#include <benchmark/benchmark.h>
+
+#include "core/transform.hpp"
+#include "ldpc/channel.hpp"
+#include "ldpc/decoder.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/noc_decoder.hpp"
+#include "noc/fabric.hpp"
+
+namespace renoc {
+namespace {
+
+struct Bench {
+  LdpcCode code;
+  LdpcEncoder encoder;
+  std::vector<std::int16_t> llrs;
+
+  explicit Bench(int n)
+      : code([&] {
+          Rng rng(3);
+          return LdpcCode::make_regular(n, 3, 6, rng);
+        }()),
+        encoder(code) {
+    Rng rng(5);
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(encoder.k()));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(2));
+    AwgnChannel channel(2.5, 0.5, rng.split());
+    llrs = quantize_llrs(channel.transmit(encoder.encode(data)));
+  }
+};
+
+void BM_CodeConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(LdpcCode::make_regular(n, 3, 6, rng));
+  }
+}
+
+void BM_EncoderSetup(benchmark::State& state) {
+  Rng rng(3);
+  const LdpcCode code =
+      LdpcCode::make_regular(static_cast<int>(state.range(0)), 3, 6, rng);
+  for (auto _ : state) {
+    LdpcEncoder enc(code);
+    benchmark::DoNotOptimize(&enc);
+  }
+}
+
+void BM_Encode(benchmark::State& state) {
+  Bench b(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(b.encoder.k()));
+  for (auto& bit : data) bit = static_cast<std::uint8_t>(rng.next_below(2));
+  for (auto _ : state) benchmark::DoNotOptimize(b.encoder.encode(data));
+}
+
+void BM_GoldenDecode(benchmark::State& state) {
+  Bench b(static_cast<int>(state.range(0)));
+  const MinSumDecoder decoder(b.code, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(decoder.decode(b.llrs));
+}
+
+void BM_NocBlockDecode(benchmark::State& state) {
+  Bench b(510);
+  NocConfig cfg;
+  cfg.dim = GridDim{4, 4};
+  Fabric fabric(cfg);
+  LdpcNocParams params;
+  params.iterations = static_cast<int>(state.range(0));
+  NocLdpcDecoder decoder(fabric, b.code, make_striped_partition(b.code, 16),
+                         identity_permutation(16), params);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(decoder.decode_block(b.llrs));
+}
+
+BENCHMARK(BM_CodeConstruction)->Arg(510)->Arg(2046);
+BENCHMARK(BM_EncoderSetup)->Arg(510)->Arg(2046);
+BENCHMARK(BM_Encode)->Arg(510)->Arg(2046);
+BENCHMARK(BM_GoldenDecode)->Arg(510)->Arg(2046);
+BENCHMARK(BM_NocBlockDecode)->Arg(4)->Arg(10);
+
+}  // namespace
+}  // namespace renoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks for the cycle-accurate NoC simulator: raw step cost on
+// idle and loaded meshes, end-to-end message cost, and synthetic traffic
+// throughput. These gate the wall-clock cost of the paper experiments
+// (one LDPC block is ~55k fabric cycles).
+#include <benchmark/benchmark.h>
+
+#include "noc/fabric.hpp"
+#include "noc/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace renoc {
+namespace {
+
+NocConfig mesh(int side) {
+  NocConfig cfg;
+  cfg.dim = GridDim{side, side};
+  return cfg;
+}
+
+void BM_FabricStepIdle(benchmark::State& state) {
+  Fabric fabric(mesh(static_cast<int>(state.range(0))));
+  for (auto _ : state) fabric.step();
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FabricStepLoaded(benchmark::State& state) {
+  Fabric fabric(mesh(static_cast<int>(state.range(0))));
+  TrafficGenerator gen(fabric, TrafficPattern::kUniformRandom, 0.2, 4,
+                       Rng(7));
+  for (auto _ : state) gen.step();
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MessageEndToEnd(benchmark::State& state) {
+  Fabric fabric(mesh(5));
+  for (auto _ : state) {
+    Message m;
+    m.src = 0;
+    m.dst = 24;
+    m.payload.assign(static_cast<std::size_t>(state.range(0)), 1);
+    fabric.send(m);
+    fabric.drain();
+    benchmark::DoNotOptimize(fabric.try_receive(24));
+  }
+}
+
+void BM_SaturatedHotspotDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    Fabric fabric(mesh(4));
+    for (int s = 1; s < 16; ++s) {
+      Message m;
+      m.src = s;
+      m.dst = 0;
+      m.payload.assign(8, 0);
+      fabric.send(m);
+    }
+    fabric.drain();
+    for (int i = 0; i < 15; ++i) benchmark::DoNotOptimize(fabric.try_receive(0));
+  }
+}
+
+BENCHMARK(BM_FabricStepIdle)->Arg(4)->Arg(5)->Arg(8);
+BENCHMARK(BM_FabricStepLoaded)->Arg(4)->Arg(5)->Arg(8);
+BENCHMARK(BM_MessageEndToEnd)->Arg(1)->Arg(16)->Arg(128);
+BENCHMARK(BM_SaturatedHotspotDrain);
+
+}  // namespace
+}  // namespace renoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Microbenchmarks for the thermal solver: network assembly, LU
+// factorization, steady solve, and backward-Euler stepping — the inner
+// loops of the periodic co-simulation (a Figure-1 cell integrates a few
+// thousand transient steps).
+#include <benchmark/benchmark.h>
+
+#include "floorplan/floorplan.hpp"
+#include "thermal/hotspot_params.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
+
+namespace renoc {
+namespace {
+
+RcNetwork net_for(int side) {
+  return build_rc_network(
+      make_grid_floorplan(GridDim{side, side}, date05_tile_area()),
+      date05_hotspot_params());
+}
+
+void BM_BuildNetwork(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Floorplan fp =
+      make_grid_floorplan(GridDim{side, side}, date05_tile_area());
+  const HotSpotParams params = date05_hotspot_params();
+  for (auto _ : state) benchmark::DoNotOptimize(build_rc_network(fp, params));
+}
+
+void BM_SteadySolverSetup(benchmark::State& state) {
+  const RcNetwork net = net_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SteadyStateSolver solver(net);
+    benchmark::DoNotOptimize(&solver);
+  }
+}
+
+void BM_SteadySolve(benchmark::State& state) {
+  const RcNetwork net = net_for(static_cast<int>(state.range(0)));
+  SteadyStateSolver solver(net);
+  std::vector<double> power(static_cast<std::size_t>(net.die_count()), 2.0);
+  power[0] = 9.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solver.solve_die_power(power));
+}
+
+void BM_TransientStep(benchmark::State& state) {
+  const RcNetwork net = net_for(static_cast<int>(state.range(0)));
+  TransientSolver transient(net, 2e-6);
+  std::vector<double> power(static_cast<std::size_t>(net.die_count()), 2.0);
+  const std::vector<double> full = net.expand_die_power(power);
+  for (auto _ : state) transient.step(full);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_BuildNetwork)->Arg(4)->Arg(5)->Arg(8);
+BENCHMARK(BM_SteadySolverSetup)->Arg(4)->Arg(5)->Arg(8);
+BENCHMARK(BM_SteadySolve)->Arg(4)->Arg(5)->Arg(8);
+BENCHMARK(BM_TransientStep)->Arg(4)->Arg(5)->Arg(8);
+
+}  // namespace
+}  // namespace renoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Decode quality is untouched by migration: a BER sweep with and without
+// runtime reconfiguration.
+//
+// The functional half of the paper's claim: migration moves state between
+// PEs mid-stream, yet every block must decode exactly as a monolithic
+// decoder would. This example sweeps Eb/N0, decoding a batch of noisy
+// blocks on (a) the golden software decoder, (b) the NoC decoder with no
+// migration, and (c) the NoC decoder migrating after every block — and
+// shows identical bit-error counts for all three, while also reporting
+// decoded throughput with and without migration.
+#include <cstdio>
+#include <vector>
+
+#include "core/chip_config.hpp"
+#include "core/migration_controller.hpp"
+#include "ldpc/channel.hpp"
+#include "ldpc/decoder.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/noc_decoder.hpp"
+#include "noc/fabric.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+int run() {
+  // A small chip so the sweep stays quick: 4x4 mesh, n=510 code.
+  Rng code_rng(7);
+  const LdpcCode code = LdpcCode::make_regular(510, 3, 6, code_rng);
+  const LdpcEncoder encoder(code);
+  const Partition partition = make_striped_partition(code, 16);
+  LdpcNocParams params;
+  params.iterations = 8;
+  const MinSumDecoder golden(code, params.iterations);
+
+  const int blocks_per_point = 6;
+  const double rate =
+      static_cast<double>(encoder.k()) / static_cast<double>(encoder.n());
+
+  std::printf("Eb/N0   golden-BER   noc-BER     noc+mig-BER  blocks  "
+              "cycles/blk  cycles/blk+mig\n");
+  for (double ebn0 : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    Rng rng(1000 + static_cast<std::uint64_t>(ebn0 * 10));
+
+    Fabric fabric_plain({GridDim{4, 4}});
+    NocLdpcDecoder plain(fabric_plain, code, partition,
+                         identity_permutation(16), params);
+
+    Fabric fabric_mig({GridDim{4, 4}});
+    NocLdpcDecoder migrating(fabric_mig, code, partition,
+                             identity_permutation(16), params);
+    MigrationController controller(fabric_mig,
+                                   transform_of(MigrationScheme::kShiftXY));
+    std::vector<int> placement = identity_permutation(16);
+    std::vector<int> state_words(16);
+    for (int c = 0; c < 16; ++c)
+      state_words[static_cast<std::size_t>(c)] =
+          migrating.migration_state_words(c);
+
+    long golden_errs = 0, plain_errs = 0, mig_errs = 0, bits = 0;
+    Cycle plain_cycles = 0;
+    Cycle mig_cycles_with_halt = 0;
+    for (int b = 0; b < blocks_per_point; ++b) {
+      std::vector<std::uint8_t> data(static_cast<std::size_t>(encoder.k()));
+      for (auto& bit : data)
+        bit = static_cast<std::uint8_t>(rng.next_below(2));
+      const auto cw = encoder.encode(data);
+      AwgnChannel channel(ebn0, rate, rng.split());
+      const auto llrs = quantize_llrs(channel.transmit(cw));
+
+      const DecodeResult g = golden.decode(llrs);
+      const NocDecodeResult p = plain.decode_block(llrs);
+      const Cycle mig_start = fabric_mig.now();
+      const NocDecodeResult m = migrating.decode_block(llrs);
+      // Migrate after every block in the migrating system.
+      controller.migrate(placement, state_words);
+      migrating.set_placement(placement);
+      mig_cycles_with_halt += fabric_mig.now() - mig_start;
+      plain_cycles += p.cycles;
+
+      RENOC_CHECK_MSG(p.hard_bits == g.hard_bits,
+                      "NoC decoder diverged from golden");
+      RENOC_CHECK_MSG(m.hard_bits == g.hard_bits,
+                      "migrating decoder diverged from golden");
+      for (std::size_t i = 0; i < cw.size(); ++i) {
+        golden_errs += g.hard_bits[i] != cw[i];
+        plain_errs += p.hard_bits[i] != cw[i];
+        mig_errs += m.hard_bits[i] != cw[i];
+      }
+      bits += code.n();
+    }
+    std::printf("%5.1f   %.3e   %.3e   %.3e    %d      %llu       %llu\n",
+                ebn0, static_cast<double>(golden_errs) / bits,
+                static_cast<double>(plain_errs) / bits,
+                static_cast<double>(mig_errs) / bits, blocks_per_point,
+                static_cast<unsigned long long>(plain_cycles /
+                                                blocks_per_point),
+                static_cast<unsigned long long>(mig_cycles_with_halt /
+                                                blocks_per_point));
+  }
+  std::printf("\nall three BER columns are identical by construction — "
+              "migration never changes decode results.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace renoc
+
+int main() { return renoc::run(); }

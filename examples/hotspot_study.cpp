@@ -1,0 +1,102 @@
+// Hotspot study: where does the heat go when the workload moves?
+//
+// A deeper tour of the library for thermal work: prints the temperature
+// field of a chip configuration as an ASCII heat map, shows the
+// orbit-averaged field under each migration scheme, and demonstrates the
+// odd-mesh fixed-point effect the paper describes (the central PE that
+// rotation and mirroring cannot cool). Run with a configuration name:
+//
+//   ./build/examples/hotspot_study        # defaults to E
+//   ./build/examples/hotspot_study A
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/thermal_runtime.hpp"
+#include "power/power_map.hpp"
+#include "thermal/solver.hpp"
+
+namespace renoc {
+namespace {
+
+void print_heat_map(const char* title, const GridDim& dim,
+                    const std::vector<double>& temps) {
+  // Five brightness buckets between the min and max of this map.
+  double lo = temps[0], hi = temps[0];
+  for (double t : temps) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  static const char* kShades[] = {" .", " o", " O", " #", " @"};
+  std::printf("%s  [%.2f .. %.2f C]\n", title, lo, hi);
+  for (int y = dim.height - 1; y >= 0; --y) {
+    std::printf("   ");
+    for (int x = 0; x < dim.width; ++x) {
+      const double t = temps[static_cast<std::size_t>(y * dim.width + x)];
+      const int bucket =
+          hi > lo ? std::min(4, static_cast<int>((t - lo) / (hi - lo) * 5))
+                  : 0;
+      std::printf("%s", kShades[bucket]);
+    }
+    std::printf("   ");
+    for (int x = 0; x < dim.width; ++x)
+      std::printf(" %6.2f",
+                  temps[static_cast<std::size_t>(y * dim.width + x)]);
+    std::printf("\n");
+  }
+}
+
+int run(const std::string& name) {
+  ExperimentDriver driver(config_by_name(name));
+  driver.prepare();
+  const GridDim dim = driver.chip().config.dim;
+
+  std::printf("=== configuration %s ===\n", name.c_str());
+  print_heat_map("baseline (static thermally-aware placement)", dim,
+                 driver.baseline_die_temps());
+
+  // Orbit-averaged steady fields per scheme: what the die settles to when
+  // migration time-shares the workload across tiles.
+  SteadyStateSolver steady(driver.thermal_network());
+  for (MigrationScheme scheme : figure1_schemes()) {
+    const Transform t = transform_of(scheme);
+    const auto orbit = orbit_permutations(t, dim);
+    std::vector<std::vector<double>> maps;
+    for (const auto& perm : orbit)
+      maps.push_back(apply_permutation(driver.base_power(), perm));
+    const std::vector<double> avg = average_maps(maps);
+    const std::vector<double> rise = steady.solve_die_power(avg);
+    std::vector<double> temps(static_cast<std::size_t>(dim.node_count()));
+    for (int i = 0; i < dim.node_count(); ++i)
+      temps[static_cast<std::size_t>(i)] =
+          driver.thermal_network().ambient() +
+          rise[static_cast<std::size_t>(i)];
+    std::printf("\n");
+    print_heat_map(to_string(scheme), dim, temps);
+
+    const auto fixed = t.fixed_points(dim);
+    if (!fixed.empty()) {
+      std::printf("   fixed points:");
+      for (const GridCoord& c : fixed) std::printf(" %s", to_string(c).c_str());
+      std::printf("  <- tiles this scheme can never cool\n");
+    }
+  }
+
+  std::printf("\nfull evaluation (migration energy + ripple included):\n");
+  for (MigrationScheme scheme : figure1_schemes()) {
+    const SchemeEvaluation ev = driver.evaluate_scheme(scheme);
+    std::printf("  %-12s peak %.2f C  reduction %+.2f C  cost %.2f%%\n",
+                to_string(scheme), ev.peak_temp_c, ev.reduction_c,
+                ev.throughput_penalty * 100);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace renoc
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "E";
+  return renoc::run(name);
+}

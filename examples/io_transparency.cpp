@@ -1,0 +1,117 @@
+// I/O transparency: the outside world never notices a migration.
+//
+// Section 2.3: "By including a migration unit at the I/O interface, the
+// migration operation is totally transparent to the outside world." This
+// example plays the role of an external host talking to PEs on the chip
+// while the workload migrates underneath:
+//
+//   1. the host sends a request to *logical* PE L through the migration
+//      unit, which rewrites the destination to the current physical tile;
+//   2. the PE replies; the migration unit rewrites the source back to L;
+//   3. migrations happen between exchanges — the host's view never
+//      changes, even after an arbitrary history of transforms.
+#include <cstdio>
+#include <vector>
+
+#include "core/migration_controller.hpp"
+#include "core/migration_unit.hpp"
+#include "noc/fabric.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+// The host addresses this logical PE throughout.
+constexpr int kLogicalTarget = 6;
+constexpr std::uint64_t kRequestTag = 0x10;
+constexpr std::uint64_t kReplyTag = 0x11;
+
+// One request/reply exchange through the migration unit. The "application"
+// on each tile echoes requests back to the edge tile 0, which models the
+// chip's I/O port.
+std::uint64_t exchange(Fabric& fabric, const AddressTranslator& mig_unit,
+                       std::uint64_t payload) {
+  Message request;
+  request.src = 0;  // the I/O port tile
+  request.dst = kLogicalTarget;  // logical address, as the host knows it
+  request.tag = kRequestTag;
+  request.payload = {payload};
+  mig_unit.rewrite_ingress(request);  // -> physical tile
+
+  fabric.send(request);
+  fabric.drain();
+
+  // The hosting PE consumes the request and replies to the I/O port.
+  auto got = fabric.try_receive(request.dst);
+  RENOC_CHECK(got.has_value() && got->tag == kRequestTag);
+  Message reply;
+  reply.src = request.dst;
+  reply.dst = 0;
+  reply.tag = kReplyTag;
+  reply.payload = {got->payload[0] * 2 + 1};  // "work"
+  fabric.send(reply);
+  fabric.drain();
+
+  auto back = fabric.try_receive(0);
+  RENOC_CHECK(back.has_value() && back->tag == kReplyTag);
+  mig_unit.rewrite_egress(*back);  // physical source -> logical source
+  RENOC_CHECK_MSG(back->src == kLogicalTarget,
+                  "egress rewrite must restore the logical address");
+  return back->payload[0];
+}
+
+int run() {
+  NocConfig cfg;
+  cfg.dim = GridDim{4, 4};
+  Fabric fabric(cfg);
+
+  // A migration history mixing all of Table 1's functions, applied live.
+  const std::vector<Transform> history = {
+      {TransformKind::kRotation, 0}, {TransformKind::kShiftX, 1},
+      {TransformKind::kMirrorXY, 0}, {TransformKind::kShiftXY, 1},
+      {TransformKind::kRotation, 0}, {TransformKind::kMirrorX, 0},
+  };
+
+  // All controllers share one fabric; each migration event uses the
+  // transform of the step. We keep one translator (inside the last
+  // controller used) — to keep a single accumulated map we drive one
+  // controller per transform kind but hand them a shared placement and
+  // verify against a manually composed translator.
+  AddressTranslator mig_unit(cfg.dim);
+  std::vector<int> placement = identity_permutation(16);
+  const std::vector<int> state_words(16, 48);
+
+  std::printf("host exchanges with logical PE %d while the chip migrates\n",
+              kLogicalTarget);
+  std::uint64_t value = 1;
+  for (std::size_t step = 0; step < history.size(); ++step) {
+    const std::uint64_t result = exchange(fabric, mig_unit, value);
+    const int physical = mig_unit.logical_to_physical(kLogicalTarget);
+    std::printf("  step %zu: request to logical %d reached tile %2d, "
+                "reply %llu (src seen by host: %d)\n",
+                step, kLogicalTarget, physical,
+                static_cast<unsigned long long>(result), kLogicalTarget);
+    value = result;
+
+    // Migrate with this step's transform: real state transfer over the
+    // same fabric, then compose the migration unit.
+    MigrationController controller(fabric, history[step]);
+    controller.migrate(placement, state_words);
+    mig_unit.apply(history[step]);
+  }
+
+  // After the full history the logical view is still intact.
+  const std::uint64_t final_result = exchange(fabric, mig_unit, value);
+  std::printf("after %zu migrations: logical PE %d now lives on tile %d; "
+              "final reply %llu\n",
+              history.size(), kLogicalTarget,
+              mig_unit.logical_to_physical(kLogicalTarget),
+              static_cast<unsigned long long>(final_result));
+  std::printf("the host never saw a physical address change.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace renoc
+
+int main() { return renoc::run(); }

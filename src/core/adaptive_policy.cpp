@@ -1,0 +1,125 @@
+#include "core/adaptive_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "power/power_map.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+
+const char* to_string(AdaptiveObjective objective) {
+  switch (objective) {
+    case AdaptiveObjective::kPredictivePeak: return "predictive-peak";
+    case AdaptiveObjective::kCoolestHistory: return "coolest-history";
+    case AdaptiveObjective::kOrbitAverage: return "orbit-average";
+  }
+  return "?";
+}
+
+AdaptivePolicy::AdaptivePolicy(const RcNetwork& net, const GridDim& dim,
+                               AdaptiveObjective objective, double period_s,
+                               int lookahead_steps)
+    : net_(&net),
+      dim_(dim),
+      objective_(objective),
+      lookahead_steps_(lookahead_steps) {
+  RENOC_CHECK(net.die_count() == dim.node_count());
+  RENOC_CHECK(period_s > 0 && lookahead_steps >= 1);
+  lookahead_ = std::make_unique<TransientSolver>(
+      net, period_s / lookahead_steps);
+  steady_ = std::make_unique<SteadyStateSolver>(net);
+  std::vector<Transform> defaults{Transform{TransformKind::kIdentity, 0}};
+  for (MigrationScheme s : figure1_schemes())
+    defaults.push_back(transform_of(s));
+  set_candidates(std::move(defaults));
+}
+
+AdaptivePolicy::~AdaptivePolicy() = default;
+
+void AdaptivePolicy::set_candidates(std::vector<Transform> candidates) {
+  RENOC_CHECK_MSG(!candidates.empty(), "need at least one candidate");
+  candidates_.clear();
+  for (const Transform& t : candidates) {
+    if (t.kind == TransformKind::kRotation && dim_.width != dim_.height)
+      continue;  // rotation is not closed on non-square meshes
+    candidates_.push_back(t);
+  }
+  RENOC_CHECK(!candidates_.empty());
+}
+
+double AdaptivePolicy::predicted_peak(
+    const Transform& t, const std::vector<double>& current_power,
+    const std::vector<double>& state_rise) {
+  RENOC_CHECK(static_cast<int>(current_power.size()) == dim_.node_count());
+  RENOC_CHECK(static_cast<int>(state_rise.size()) == net_->node_count());
+  const std::vector<double> moved =
+      apply_permutation(current_power, t.permutation(dim_));
+  lookahead_->set_state(state_rise);
+  // Evaluate the *end-of-period* peak, not the maximum over the window:
+  // the window maximum is dominated by the shared initial condition (the
+  // die time constant dwarfs one period), which would make every
+  // candidate look identical. The end state is where candidates diverge —
+  // a moved hotspot has had a period to cool.
+  const std::vector<double> full = net_->expand_die_power(moved);
+  for (int s = 0; s < lookahead_steps_; ++s) lookahead_->step(full);
+  return net_->ambient() + net_->peak_die_rise(lookahead_->state());
+}
+
+double AdaptivePolicy::history_score(
+    const Transform& t, const std::vector<double>& current_power,
+    const std::vector<double>& state_rise) const {
+  // Sensor heuristic: penalize placing high-power workloads onto tiles
+  // that are currently hot. Score = sum_i P_moved[i] * T_i; lower is
+  // better (hot tiles get cool workloads and vice versa). Identity gets a
+  // small hysteresis bonus so negligible gains do not trigger pointless
+  // migrations.
+  const std::vector<double> moved =
+      apply_permutation(current_power, t.permutation(dim_));
+  double score = 0.0;
+  for (int i = 0; i < net_->die_count(); ++i)
+    score += moved[static_cast<std::size_t>(i)] *
+             (net_->ambient() + state_rise[static_cast<std::size_t>(i)]);
+  if (t.kind == TransformKind::kIdentity) score *= 0.999;
+  return score;
+}
+
+double AdaptivePolicy::orbit_average_score(
+    const Transform& t, const std::vector<double>& current_power) const {
+  const auto orbit = orbit_permutations(t, dim_);
+  std::vector<std::vector<double>> maps;
+  maps.reserve(orbit.size());
+  for (const auto& perm : orbit)
+    maps.push_back(apply_permutation(current_power, perm));
+  return steady_->peak_die_temperature(average_maps(maps));
+}
+
+Transform AdaptivePolicy::choose(const std::vector<double>& current_power,
+                                 const std::vector<double>& state_rise) {
+  RENOC_CHECK(static_cast<int>(current_power.size()) == dim_.node_count());
+  RENOC_CHECK(static_cast<int>(state_rise.size()) == net_->node_count());
+  const Transform* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const Transform& t : candidates_) {
+    double score = 0.0;
+    switch (objective_) {
+      case AdaptiveObjective::kPredictivePeak:
+        score = predicted_peak(t, current_power, state_rise);
+        break;
+      case AdaptiveObjective::kCoolestHistory:
+        score = history_score(t, current_power, state_rise);
+        break;
+      case AdaptiveObjective::kOrbitAverage:
+        score = orbit_average_score(t, current_power);
+        break;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = &t;
+    }
+  }
+  RENOC_CHECK(best != nullptr);
+  return *best;
+}
+
+}  // namespace renoc

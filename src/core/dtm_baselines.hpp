@@ -1,0 +1,83 @@
+// Conventional dynamic-thermal-management baselines (the paper's foil).
+//
+// Introduction: "Thermal solutions employed in current commercial
+// processors such as dynamic clock disabling and dynamic frequency scaling
+// stop or shut down the entire chip for brief periods of time. Instead of
+// shutting down or slowing down the entire chip, recent proposals have
+// focused on migration..."
+//
+// To quantify that motivation we implement the two classic chip-wide
+// mechanisms as closed-loop controllers over the same thermal RC network
+// the migration experiments use:
+//
+//   * StopGoController  — dynamic clock disabling: when the hottest die
+//     node exceeds `trip_c`, the whole chip halts (dynamic power off,
+//     leakage floor remains) until it cools below `trip_c - hysteresis_c`;
+//     throughput = duty cycle of the "go" state.
+//   * DvfsController    — dynamic frequency scaling: a proportional
+//     governor picks a frequency multiplier d in [d_min, 1]; dynamic
+//     power scales with d (clock-gating-style linear model, conservative
+//     toward DVFS which scales super-linearly); throughput = average d.
+//
+// Both slow the *entire chip* to cool one hotspot — which is exactly why
+// migration wins: it attacks the spatial non-uniformity instead. The bench
+// (bench/dtm_comparison) targets each baseline at the peak temperature a
+// migration scheme achieves and compares throughput costs.
+#pragma once
+
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
+
+namespace renoc {
+
+struct DtmRunResult {
+  double peak_temp_c = 0.0;       ///< settled peak (max over last quarter)
+  double mean_temp_c = 0.0;
+  double throughput_fraction = 1.0;  ///< delivered work / full-speed work
+  int throttle_events = 0;           ///< halts (stop-go) / slowdowns (dvfs)
+};
+
+/// Chip-wide stop-go (clock disabling) under a thermal trip point.
+class StopGoController {
+ public:
+  /// `leakage_floor` is the per-tile power that remains when the clock is
+  /// gated (leakage + always-on logic), as a fraction of each tile's
+  /// nominal power.
+  StopGoController(const RcNetwork& net, double trip_c, double hysteresis_c,
+                   double leakage_floor = 0.1);
+
+  /// Runs `periods` control periods of `period_s` each, starting from the
+  /// steady state of `power` (worst case: the chip arrives hot).
+  DtmRunResult run(const std::vector<double>& power, double period_s,
+                   int periods) const;
+
+ private:
+  const RcNetwork* net_;
+  double trip_c_;
+  double hysteresis_c_;
+  double leakage_floor_;
+};
+
+/// Chip-wide proportional frequency scaling under a thermal setpoint.
+class DvfsController {
+ public:
+  /// Frequency multiplier d = clamp(1 - gain * (peak - setpoint), d_min, 1)
+  /// re-evaluated every control period; dynamic power scales linearly
+  /// with d above the leakage floor.
+  DvfsController(const RcNetwork& net, double setpoint_c, double gain,
+                 double d_min = 0.1, double leakage_floor = 0.1);
+
+  DtmRunResult run(const std::vector<double>& power, double period_s,
+                   int periods) const;
+
+ private:
+  const RcNetwork* net_;
+  double setpoint_c_;
+  double gain_;
+  double d_min_;
+  double leakage_floor_;
+};
+
+}  // namespace renoc

@@ -1,0 +1,196 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "core/migration_controller.hpp"
+#include "ldpc/noc_decoder.hpp"
+#include "power/power_map.hpp"
+#include "thermal/solver.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+
+ExperimentDriver::ExperimentDriver(const ChipConfig& cfg) : cfg_(cfg) {}
+ExperimentDriver::~ExperimentDriver() = default;
+
+double ExperimentDriver::block_seconds() const {
+  return static_cast<double>(block_cycles_) / cfg_.noc.clock_hz;
+}
+
+double ExperimentDriver::total_power_w() const {
+  return total_power(base_power_);
+}
+
+double ExperimentDriver::default_period_s() const {
+  RENOC_CHECK(prepared_);
+  const double target = 109.3e-6;
+  const double blocks =
+      std::max(1.0, std::round(target / block_seconds()));
+  return blocks * block_seconds();
+}
+
+std::vector<double> ExperimentDriver::measure_power_map(
+    const std::vector<int>& placement, int blocks, double scale) {
+  Fabric fabric(cfg_.noc);
+  NocLdpcDecoder decoder(fabric, built_->code, built_->partition, placement,
+                         cfg_.ldpc_params);
+  fabric.stats().clear();
+  const Cycle start = fabric.now();
+  Cycle cycles_per_block = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const NocDecodeResult res = decoder.decode_block(built_->channel_llrs);
+    cycles_per_block = res.cycles;
+  }
+  block_cycles_ = cycles_per_block;
+  const double window =
+      static_cast<double>(fabric.now() - start) / cfg_.noc.clock_hz;
+  const EnergyModel energy(cfg_.energy);
+  return energy.power_map(fabric.stats(), window, scale);
+}
+
+void ExperimentDriver::prepare(int measure_blocks) {
+  RENOC_CHECK(measure_blocks >= 1);
+  built_ = std::make_unique<BuiltChip>(build_chip(cfg_));
+  net_ = std::make_unique<RcNetwork>(
+      build_rc_network(built_->floorplan, cfg_.hotspot));
+  SteadyStateSolver steady(*net_);
+
+  // --- Thermally-aware placement over design-time compute power --------
+  ThermalAwarePlacer placer(steady, cfg_.dim, cfg_.placer);
+  const PlacementResult placed =
+      placer.place(built_->compute_power_estimate, built_->traffic,
+                   cfg_.workload.pins);
+  placement_ = placed.placement;
+  identity_peak_c_ = placer.peak_temperature_of(
+      identity_permutation(cfg_.dim.node_count()),
+      built_->compute_power_estimate);
+
+  // --- Cycle-accurate measurement at the chosen placement --------------
+  const std::vector<double> raw =
+      measure_power_map(placement_, measure_blocks, 1.0);
+
+  // --- Calibration: scale so the steady peak equals the paper ----------
+  const std::vector<double> rise = steady.solve_die_power(raw);
+  const double peak_rise = net_->peak_die_rise(rise);
+  RENOC_CHECK_MSG(peak_rise > 0, "non-positive peak rise — no power?");
+  calibration_scale_ =
+      (cfg_.paper_base_peak_c - cfg_.hotspot.ambient) / peak_rise;
+  base_power_ = raw;
+  scale_map(base_power_, calibration_scale_);
+
+  const std::vector<double> rise_cal = steady.solve_die_power(base_power_);
+  base_peak_temp_c_ = net_->ambient() + net_->peak_die_rise(rise_cal);
+  base_mean_temp_c_ = net_->ambient() + net_->mean_die_rise(rise_cal);
+  prepared_ = true;
+}
+
+std::vector<double> ExperimentDriver::baseline_die_temps() const {
+  RENOC_CHECK(prepared_);
+  SteadyStateSolver steady(*net_);
+  const std::vector<double> rise = steady.solve_die_power(base_power_);
+  std::vector<double> temps(static_cast<std::size_t>(net_->die_count()));
+  for (int i = 0; i < net_->die_count(); ++i)
+    temps[static_cast<std::size_t>(i)] =
+        net_->ambient() + rise[static_cast<std::size_t>(i)];
+  return temps;
+}
+
+SchemeEvaluation ExperimentDriver::evaluate_scheme(
+    MigrationScheme scheme, std::optional<double> period_opt) {
+  RENOC_CHECK_MSG(prepared_, "call prepare() first");
+  const double period_s = period_opt.value_or(default_period_s());
+  RENOC_CHECK(period_s > 0);
+
+  SchemeEvaluation eval;
+  eval.scheme = scheme;
+  eval.period_s = period_s;
+
+  ThermalRunOptions topt;
+  topt.period_s = period_s;
+  MigrationThermalRuntime runtime(*net_, topt);
+
+  if (scheme == MigrationScheme::kNone) {
+    const auto orbit = std::vector<std::vector<int>>{
+        identity_permutation(cfg_.dim.node_count())};
+    const ThermalRunResult r = runtime.run(base_power_, orbit, {});
+    eval.orbit_length = 1;
+    eval.peak_temp_c = r.peak_temp_c;
+    eval.reduction_c = 0.0;
+    eval.mean_temp_c = r.mean_temp_c;
+    eval.thermal_converged = r.converged;
+    return eval;
+  }
+
+  const Transform transform = transform_of(scheme);
+  const auto orbit = orbit_permutations(transform, cfg_.dim);
+  const std::size_t L = orbit.size();
+  eval.orbit_length = static_cast<int>(L);
+
+  // --- Simulate the real migrations to get timing and energy -----------
+  // A fresh fabric carries only migration traffic; per-step stats deltas
+  // become per-step energy maps (calibrated like the workload power).
+  Fabric fabric(cfg_.noc);
+  NocLdpcDecoder decoder(fabric, built_->code, built_->partition, placement_,
+                         cfg_.ldpc_params);
+  std::vector<int> state_words(
+      static_cast<std::size_t>(decoder.cluster_count()));
+  for (int c = 0; c < decoder.cluster_count(); ++c)
+    state_words[static_cast<std::size_t>(c)] =
+        decoder.migration_state_words(c);
+
+  MigrationController controller(fabric, transform);
+  const EnergyModel energy(cfg_.energy);
+  std::vector<int> placement = placement_;
+
+  // measured_step[k]: energy map + timing of the migration taking the
+  // system from orbit[k] to orbit[k+1 mod L].
+  std::vector<std::vector<double>> step_energy(L);
+  double halt_seconds_sum = 0.0;
+  double energy_sum = 0.0;
+  for (std::size_t k = 0; k < L; ++k) {
+    fabric.stats().clear();
+    const MigrationReport rep = controller.migrate(placement, state_words);
+    // Energy of this migration event per tile: dynamic events only (the
+    // spike adds to the leakage already inside the base map), calibrated.
+    std::vector<double> e_map(
+        static_cast<std::size_t>(fabric.node_count()));
+    for (int t = 0; t < fabric.node_count(); ++t)
+      e_map[static_cast<std::size_t>(t)] =
+          calibration_scale_ *
+          energy.tile_dynamic_energy(fabric.stats().tile(t));
+    energy_sum += total_power(e_map);  // joules (map holds J here)
+    step_energy[k] = std::move(e_map);
+    halt_seconds_sum +=
+        static_cast<double>(rep.total_cycles) / cfg_.noc.clock_hz;
+    if (k == 0) {
+      eval.phases = rep.phases;
+      eval.state_flits = rep.state_flits;
+    }
+  }
+  // Orbit closure: after L migrations the placement must return home.
+  RENOC_CHECK_MSG(placement == placement_,
+                  "orbit did not close after L migrations");
+
+  eval.migration_s = halt_seconds_sum / static_cast<double>(L);
+  eval.migration_energy_j = energy_sum / static_cast<double>(L);
+  eval.throughput_penalty =
+      eval.migration_s / (period_s + eval.migration_s);
+
+  // --- Thermal co-simulation --------------------------------------------
+  // Segment seg runs under orbit[seg]; the migration that starts segment
+  // seg is measured step (seg-1+L) mod L.
+  std::vector<std::vector<double>> migration_energy(L);
+  for (std::size_t seg = 0; seg < L; ++seg)
+    migration_energy[seg] = step_energy[(seg + L - 1) % L];
+
+  const ThermalRunResult r =
+      runtime.run(base_power_, orbit, migration_energy);
+  eval.peak_temp_c = r.peak_temp_c;
+  eval.reduction_c = base_peak_temp_c_ - r.peak_temp_c;
+  eval.mean_temp_c = r.mean_temp_c;
+  eval.ripple_c = r.ripple_c;
+  eval.thermal_converged = r.converged;
+  return eval;
+}
+
+}  // namespace renoc

@@ -1,0 +1,97 @@
+// End-to-end experiment driver: the full DATE'05 measurement pipeline.
+//
+//   build chip -> thermally-aware placement -> cycle-accurate decode ->
+//   activity -> power map -> calibrate to the paper's base temperature ->
+//   per-scheme: simulate the migration orbit on the fabric (timing +
+//   energy maps) -> periodic thermal co-simulation -> peak reduction &
+//   throughput penalty.
+//
+// Every number in Figure 1 and the period-sweep discussion of Section 3 is
+// produced by this class; the bench binaries only format its output.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/chip_config.hpp"
+#include "core/thermal_runtime.hpp"
+#include "core/transform.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace renoc {
+
+/// Result of evaluating one migration scheme at one period.
+struct SchemeEvaluation {
+  MigrationScheme scheme = MigrationScheme::kNone;
+  double period_s = 0.0;
+  int orbit_length = 0;
+  double peak_temp_c = 0.0;
+  double reduction_c = 0.0;      ///< baseline peak - migrating peak
+  double mean_temp_c = 0.0;
+  double ripple_c = 0.0;
+  double migration_s = 0.0;      ///< halt time per migration (mean)
+  double throughput_penalty = 0.0;  ///< halt / (period + halt)
+  int phases = 0;                ///< per migration (first step)
+  std::uint64_t state_flits = 0;  ///< per migration (first step)
+  double migration_energy_j = 0.0;  ///< per migration (mean, calibrated)
+  bool thermal_converged = false;
+};
+
+class ExperimentDriver {
+ public:
+  explicit ExperimentDriver(const ChipConfig& cfg);
+  ~ExperimentDriver();
+
+  /// Runs placement, measures the baseline power map over `measure_blocks`
+  /// decoded blocks, and calibrates the power scale to the paper's base
+  /// peak temperature. Must be called before evaluate_scheme().
+  void prepare(int measure_blocks = 2);
+
+  // --- Baseline quantities (valid after prepare) ------------------------
+  const BuiltChip& chip() const { return *built_; }
+  const std::vector<int>& baseline_placement() const { return placement_; }
+  const std::vector<double>& base_power() const { return base_power_; }
+  double base_peak_temp_c() const { return base_peak_temp_c_; }
+  double base_mean_temp_c() const { return base_mean_temp_c_; }
+  Cycle block_cycles() const { return block_cycles_; }
+  double block_seconds() const;
+  double calibration_scale() const { return calibration_scale_; }
+  double total_power_w() const;
+  const RcNetwork& thermal_network() const { return *net_; }
+
+  /// Peak-temperature of the identity placement (before thermally-aware
+  /// placement), for quantifying what the static optimization bought.
+  double identity_placement_peak_c() const { return identity_peak_c_; }
+
+  /// Evaluates one scheme at a migration period. If `period_s` is not
+  /// given, the period snaps to the paper's 109.3 us rounded to a whole
+  /// number of decoded blocks (the paper aligns migrations with block
+  /// completion).
+  SchemeEvaluation evaluate_scheme(MigrationScheme scheme,
+                                   std::optional<double> period_s = {});
+
+  /// The paper-aligned default period (whole blocks closest to 109.3 us).
+  double default_period_s() const;
+
+  /// Per-tile die temperatures (C) for the baseline placement.
+  std::vector<double> baseline_die_temps() const;
+
+ private:
+  std::vector<double> measure_power_map(const std::vector<int>& placement,
+                                        int blocks, double scale);
+
+  ChipConfig cfg_;
+  std::unique_ptr<BuiltChip> built_;
+  std::unique_ptr<RcNetwork> net_;
+  std::vector<int> placement_;
+  std::vector<double> base_power_;
+  double base_peak_temp_c_ = 0.0;
+  double base_mean_temp_c_ = 0.0;
+  double identity_peak_c_ = 0.0;
+  Cycle block_cycles_ = 0;
+  double calibration_scale_ = 1.0;
+  bool prepared_ = false;
+};
+
+}  // namespace renoc

@@ -1,0 +1,115 @@
+#include "core/migration_controller.hpp"
+
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+// Distinct from any workload tag: high bit set.
+constexpr std::uint64_t kMigrationTag = 0x8000000000000000ULL;
+
+}  // namespace
+
+MigrationController::MigrationController(Fabric& fabric, Transform transform,
+                                         MigrationTiming timing)
+    : fabric_(&fabric),
+      transform_(transform),
+      timing_(timing),
+      translator_(fabric.config().dim) {
+  RENOC_CHECK(timing_.phase_barrier_cycles >= 0);
+  RENOC_CHECK(timing_.resume_sync_cycles >= 0);
+}
+
+MigrationReport MigrationController::migrate(
+    std::vector<int>& placement, const std::vector<int>& state_words) {
+  RENOC_CHECK(placement.size() == state_words.size());
+  const GridDim dim = fabric_->config().dim;
+  const std::vector<int> perm = transform_.permutation(dim);
+
+  MigrationReport report;
+  const Cycle start = fabric_->now();
+
+  // 1. Halt: stop injection everywhere and let in-flight traffic land.
+  for (int n = 0; n < fabric_->node_count(); ++n)
+    fabric_->set_injection_enabled(n, false);
+  while (!fabric_->idle()) {
+    fabric_->step();
+    // Drain any messages the workload has not collected; the workload is
+    // halted, so deliveries just wait in the NI — idle() tolerates that.
+    RENOC_CHECK_MSG(fabric_->now() - start < 10'000'000,
+                    "fabric failed to drain before migration");
+  }
+
+  // 2. Build the move set: every cluster's state goes from its tile to the
+  //    transformed tile.
+  std::vector<MigrationMove> moves;
+  for (std::size_t c = 0; c < placement.size(); ++c) {
+    MigrationMove mv;
+    mv.src_tile = placement[c];
+    mv.dst_tile = perm[static_cast<std::size_t>(placement[c])];
+    mv.state_words = state_words[c];
+    moves.push_back(mv);
+  }
+  const std::vector<MigrationPhase> phases = schedule_phases(moves, dim);
+
+  // 3. Execute each phase: conversion (counted at the source), one state
+  //    packet per move, run to empty. Phase boundaries are barriers —
+  //    that is what keeps every phase congestion-free.
+  Cycle pure_transfer = 0;
+  for (const MigrationPhase& phase : phases) {
+    const Cycle phase_start = fabric_->now();
+    for (const MigrationMove& mv : phase.moves) {
+      // Conversion unit: transforms config/state before transmission.
+      fabric_->stats().tile(mv.src_tile).pe_state_words +=
+          static_cast<std::uint64_t>(mv.state_words);
+      Message msg;
+      msg.src = mv.src_tile;
+      msg.dst = mv.dst_tile;
+      msg.tag = kMigrationTag;
+      msg.payload.assign(static_cast<std::size_t>(
+                             std::max(1, mv.state_words)),
+                         0xdead57a7eULL);
+      fabric_->send(msg);
+      ++report.moves;
+      report.state_flits +=
+          static_cast<std::uint64_t>(std::max(1, mv.state_words));
+    }
+    // Migration packets must be injectable: re-enable only source tiles.
+    for (const MigrationMove& mv : phase.moves)
+      fabric_->set_injection_enabled(mv.src_tile, true);
+    while (!fabric_->idle()) {
+      fabric_->step();
+      RENOC_CHECK_MSG(fabric_->now() - phase_start < 10'000'000,
+                      "migration phase failed to complete");
+    }
+    for (const MigrationMove& mv : phase.moves)
+      fabric_->set_injection_enabled(mv.src_tile, false);
+    // Consume the state packets at their destinations.
+    for (const MigrationMove& mv : phase.moves) {
+      auto msg = fabric_->try_receive(mv.dst_tile);
+      RENOC_CHECK_MSG(msg.has_value() && msg->tag == kMigrationTag,
+                      "state packet missing at destination");
+    }
+    pure_transfer += fabric_->now() - phase_start;
+    // Phase barrier: quiesce detection and configuration commit for this
+    // group before the next group starts (control time, no traffic).
+    fabric_->run(timing_.phase_barrier_cycles);
+  }
+  report.transfer_cycles = pure_transfer;
+  report.phases = static_cast<int>(phases.size());
+
+  // 4. Compose the transform into the I/O translator and re-home clusters.
+  translator_.apply(transform_);
+  for (std::size_t c = 0; c < placement.size(); ++c)
+    placement[c] = perm[static_cast<std::size_t>(placement[c])];
+
+  // 5. Resume: global restart handshake, then re-enable injection.
+  fabric_->run(timing_.resume_sync_cycles);
+  for (int n = 0; n < fabric_->node_count(); ++n)
+    fabric_->set_injection_enabled(n, true);
+
+  report.total_cycles = fabric_->now() - start;
+  return report;
+}
+
+}  // namespace renoc

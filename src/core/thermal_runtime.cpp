@@ -1,0 +1,122 @@
+#include "core/thermal_runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/power_map.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+
+void ThermalRunOptions::validate() const {
+  RENOC_CHECK(period_s > 0 && dt_s > 0);
+  RENOC_CHECK(dt_s <= period_s);
+  RENOC_CHECK(min_orbits >= 1 && max_orbits >= min_orbits);
+  RENOC_CHECK(tol_c > 0);
+}
+
+MigrationThermalRuntime::MigrationThermalRuntime(const RcNetwork& net,
+                                                 ThermalRunOptions options)
+    : net_(&net), options_(options) {
+  options_.validate();
+}
+
+ThermalRunResult MigrationThermalRuntime::run(
+    const std::vector<double>& base_power,
+    const std::vector<std::vector<int>>& orbit,
+    const std::vector<std::vector<double>>& migration_energy) const {
+  const RcNetwork& net = *net_;
+  RENOC_CHECK(static_cast<int>(base_power.size()) == net.die_count());
+  RENOC_CHECK(!orbit.empty());
+  const std::size_t L = orbit.size();
+  RENOC_CHECK_MSG(migration_energy.empty() || migration_energy.size() == L,
+                  "need one migration-energy map per orbit step");
+
+  // Per-segment power maps.
+  std::vector<std::vector<double>> segment_power;
+  segment_power.reserve(L);
+  for (const auto& perm : orbit)
+    segment_power.push_back(apply_permutation(base_power, perm));
+
+  // Orbit-averaged map including amortized migration energy.
+  std::vector<double> avg = average_maps(segment_power);
+  if (!migration_energy.empty()) {
+    for (const auto& e_map : migration_energy) {
+      RENOC_CHECK(e_map.size() == base_power.size());
+      for (std::size_t i = 0; i < avg.size(); ++i)
+        avg[i] += e_map[i] / (options_.period_s * static_cast<double>(L));
+    }
+  }
+
+  SteadyStateSolver steady(net);
+  const std::vector<double> steady_rise = steady.solve_die_power(avg);
+
+  ThermalRunResult result;
+  result.steady_peak_of_avg_c =
+      net.ambient() + net.peak_die_rise(steady_rise);
+
+  // Static case: a single identity segment with no migration energy is in
+  // steady state already.
+  const bool is_static = (L == 1) && migration_energy.empty();
+  if (is_static) {
+    const std::vector<double> rise = steady.solve_die_power(segment_power[0]);
+    result.peak_temp_c = net.ambient() + net.peak_die_rise(rise);
+    result.mean_temp_c = net.ambient() + net.mean_die_rise(rise);
+    result.ripple_c = 0.0;
+    result.orbits_run = 0;
+    result.converged = true;
+    return result;
+  }
+
+  // Snap dt so an integer number of steps covers one period.
+  const int steps_per_period = std::max(
+      1, static_cast<int>(std::ceil(options_.period_s / options_.dt_s)));
+  const double dt = options_.period_s / steps_per_period;
+  TransientSolver transient(net, dt);
+  transient.set_state(steady_rise);
+
+  double prev_orbit_peak = result.steady_peak_of_avg_c;
+  double mean_accum = 0.0;
+  std::uint64_t mean_samples = 0;
+
+  for (int orbit_idx = 0; orbit_idx < options_.max_orbits; ++orbit_idx) {
+    double orbit_peak = -1e300;
+    double peak_node_min = 1e300;  // min over time of the instantaneous peak
+    for (std::size_t seg = 0; seg < L; ++seg) {
+      // Base power for this segment, with the migration spike folded into
+      // the first step (energy / dt extra watts for one step).
+      const std::vector<double>& seg_power = segment_power[seg];
+      for (int step = 0; step < steps_per_period; ++step) {
+        if (step == 0 && !migration_energy.empty()) {
+          std::vector<double> spiked = seg_power;
+          const auto& e_map = migration_energy[seg];
+          for (std::size_t i = 0; i < spiked.size(); ++i)
+            spiked[i] += e_map[i] / dt;
+          transient.step_die_power(spiked);
+        } else {
+          transient.step_die_power(seg_power);
+        }
+        const double peak_rise = net.peak_die_rise(transient.state());
+        orbit_peak = std::max(orbit_peak, net.ambient() + peak_rise);
+        peak_node_min =
+            std::min(peak_node_min, net.ambient() + peak_rise);
+        mean_accum += net.ambient() + net.mean_die_rise(transient.state());
+        ++mean_samples;
+      }
+    }
+    result.orbits_run = orbit_idx + 1;
+    result.peak_temp_c = orbit_peak;
+    result.ripple_c = orbit_peak - peak_node_min;
+    if (orbit_idx + 1 >= options_.min_orbits &&
+        std::fabs(orbit_peak - prev_orbit_peak) < options_.tol_c) {
+      result.converged = true;
+      break;
+    }
+    prev_orbit_peak = orbit_peak;
+  }
+  result.mean_temp_c =
+      mean_samples ? mean_accum / static_cast<double>(mean_samples) : 0.0;
+  return result;
+}
+
+}  // namespace renoc

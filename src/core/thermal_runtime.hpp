@@ -1,0 +1,73 @@
+// Thermal co-simulation of a migrating system.
+//
+// Migration periods (~100 us) are far below the die's thermal time
+// constant (~1.3 ms with the HotSpot package), so the temperature field of
+// a migrating chip is the steady state of the orbit-averaged power map
+// plus a small periodic ripple. Rather than assuming that, this runtime
+// *computes the exact periodic steady state*: it integrates the RC network
+// with backward Euler through whole migration super-cycles (orbit length x
+// period), feeding it the piecewise-constant power maps
+//
+//   segment k:  P_k = permute(base_power, orbit[k]) + spike_k
+//
+// where spike_k deposits that step's measured migration energy during the
+// first integration step of the segment (energy-conserving; the migration
+// window of ~1.75 us is shorter than one dt). Integration starts from the
+// steady state of the averaged map and continues until the per-orbit peak
+// temperature drifts by less than `tol` — typically a handful of orbits.
+//
+// For the static baseline pass an orbit of {identity} and zero migration
+// energy: the result collapses to the steady-state solution.
+#pragma once
+
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
+
+namespace renoc {
+
+struct ThermalRunOptions {
+  double period_s = 109.3e-6;   ///< time between migrations
+  double dt_s = 2.0e-6;         ///< nominal transient step (snapped so an
+                                ///< integer number of steps covers a period)
+  int min_orbits = 3;
+  int max_orbits = 400;
+  double tol_c = 1e-3;          ///< per-orbit peak drift convergence bound
+
+  void validate() const;
+};
+
+struct ThermalRunResult {
+  double peak_temp_c = 0.0;   ///< max die temperature over the final orbit
+  double mean_temp_c = 0.0;   ///< time-average of the mean die temperature
+  double ripple_c = 0.0;      ///< peak-node max-min within the final orbit
+  double steady_peak_of_avg_c = 0.0;  ///< diagnostic: steady state of the
+                                      ///< orbit-averaged power map
+  int orbits_run = 0;
+  bool converged = false;
+};
+
+class MigrationThermalRuntime {
+ public:
+  MigrationThermalRuntime(const RcNetwork& net, ThermalRunOptions options);
+
+  /// `base_power`: per-tile watts of the workload in its baseline
+  /// placement. `orbit`: accumulated permutations [id, T, T^2, ...].
+  /// `migration_energy`: per orbit-step, per-tile joules deposited by the
+  /// migration that *starts* that segment (size must equal orbit size, or
+  /// be empty for no migration energy). Step 0's entry represents the
+  /// migration that wraps the orbit around (orbit[L-1] -> identity).
+  ThermalRunResult run(
+      const std::vector<double>& base_power,
+      const std::vector<std::vector<int>>& orbit,
+      const std::vector<std::vector<double>>& migration_energy) const;
+
+  const RcNetwork& network() const { return *net_; }
+
+ private:
+  const RcNetwork* net_;
+  ThermalRunOptions options_;
+};
+
+}  // namespace renoc

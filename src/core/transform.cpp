@@ -1,0 +1,162 @@
+#include "core/transform.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+const char* to_string(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kIdentity: return "identity";
+    case TransformKind::kRotation: return "rotation";
+    case TransformKind::kMirrorX: return "x-mirror";
+    case TransformKind::kMirrorY: return "y-mirror";
+    case TransformKind::kMirrorXY: return "xy-mirror";
+    case TransformKind::kShiftX: return "x-shift";
+    case TransformKind::kShiftXY: return "xy-shift";
+  }
+  return "?";
+}
+
+namespace {
+
+int positive_mod(int v, int m) {
+  const int r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+GridCoord Transform::apply(const GridCoord& c, const GridDim& dim) const {
+  RENOC_CHECK_MSG(in_bounds(c, dim),
+                  to_string(c) << " outside " << renoc::to_string(dim));
+  switch (kind) {
+    case TransformKind::kIdentity:
+      return c;
+    case TransformKind::kRotation:
+      RENOC_CHECK_MSG(dim.width == dim.height,
+                      "rotation requires a square mesh, got "
+                          << renoc::to_string(dim));
+      return GridCoord{dim.width - 1 - c.y, c.x};
+    case TransformKind::kMirrorX:
+      return GridCoord{dim.width - 1 - c.x, c.y};
+    case TransformKind::kMirrorY:
+      return GridCoord{c.x, dim.height - 1 - c.y};
+    case TransformKind::kMirrorXY:
+      return GridCoord{dim.width - 1 - c.x, dim.height - 1 - c.y};
+    case TransformKind::kShiftX:
+      return GridCoord{positive_mod(c.x + offset, dim.width), c.y};
+    case TransformKind::kShiftXY:
+      return GridCoord{positive_mod(c.x + offset, dim.width),
+                       positive_mod(c.y + offset, dim.height)};
+  }
+  RENOC_CHECK_MSG(false, "unknown transform kind");
+}
+
+std::vector<int> Transform::permutation(const GridDim& dim) const {
+  std::vector<int> perm(static_cast<std::size_t>(dim.node_count()));
+  for (int i = 0; i < dim.node_count(); ++i) {
+    const GridCoord c = index_to_coord(i, dim);
+    perm[static_cast<std::size_t>(i)] = coord_to_index(apply(c, dim), dim);
+  }
+  return perm;
+}
+
+std::vector<GridCoord> Transform::fixed_points(const GridDim& dim) const {
+  std::vector<GridCoord> fixed;
+  for (int i = 0; i < dim.node_count(); ++i) {
+    const GridCoord c = index_to_coord(i, dim);
+    if (apply(c, dim) == c) fixed.push_back(c);
+  }
+  return fixed;
+}
+
+int orbit_length(const Transform& t, const GridDim& dim) {
+  const std::vector<int> perm = t.permutation(dim);
+  std::vector<int> acc = identity_permutation(dim.node_count());
+  for (int len = 1; len <= 4 * dim.node_count(); ++len) {
+    acc = compose_permutations(acc, perm);
+    bool is_identity = true;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      if (acc[i] != static_cast<int>(i)) {
+        is_identity = false;
+        break;
+      }
+    }
+    if (is_identity) return len;
+  }
+  RENOC_CHECK_MSG(false, "orbit length not found (non-permutation?)");
+}
+
+std::vector<std::vector<int>> orbit_permutations(const Transform& t,
+                                                 const GridDim& dim) {
+  const int len = orbit_length(t, dim);
+  std::vector<std::vector<int>> orbit;
+  orbit.reserve(static_cast<std::size_t>(len));
+  orbit.push_back(identity_permutation(dim.node_count()));
+  const std::vector<int> step = t.permutation(dim);
+  for (int k = 1; k < len; ++k)
+    orbit.push_back(compose_permutations(orbit.back(), step));
+  return orbit;
+}
+
+std::vector<int> compose_permutations(const std::vector<int>& a,
+                                      const std::vector<int>& b) {
+  RENOC_CHECK(a.size() == b.size());
+  std::vector<int> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = b[static_cast<std::size_t>(a[i])];
+  return out;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& a) {
+  std::vector<int> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[static_cast<std::size_t>(a[i])] = static_cast<int>(i);
+  return out;
+}
+
+std::vector<int> identity_permutation(int n) {
+  std::vector<int> id(static_cast<std::size_t>(n));
+  std::iota(id.begin(), id.end(), 0);
+  return id;
+}
+
+const char* to_string(MigrationScheme scheme) {
+  switch (scheme) {
+    case MigrationScheme::kNone: return "static";
+    case MigrationScheme::kRotation: return "Rot";
+    case MigrationScheme::kMirrorX: return "X Mirror";
+    case MigrationScheme::kMirrorXY: return "X-Y Mirror";
+    case MigrationScheme::kShiftRight: return "Right Shift";
+    case MigrationScheme::kShiftXY: return "X-Y Shift";
+  }
+  return "?";
+}
+
+Transform transform_of(MigrationScheme scheme) {
+  switch (scheme) {
+    case MigrationScheme::kNone:
+      return Transform{TransformKind::kIdentity, 0};
+    case MigrationScheme::kRotation:
+      return Transform{TransformKind::kRotation, 0};
+    case MigrationScheme::kMirrorX:
+      return Transform{TransformKind::kMirrorX, 0};
+    case MigrationScheme::kMirrorXY:
+      return Transform{TransformKind::kMirrorXY, 0};
+    case MigrationScheme::kShiftRight:
+      return Transform{TransformKind::kShiftX, 1};
+    case MigrationScheme::kShiftXY:
+      return Transform{TransformKind::kShiftXY, 1};
+  }
+  RENOC_CHECK_MSG(false, "unknown migration scheme");
+}
+
+std::vector<MigrationScheme> figure1_schemes() {
+  return {MigrationScheme::kRotation, MigrationScheme::kMirrorX,
+          MigrationScheme::kMirrorXY, MigrationScheme::kShiftRight,
+          MigrationScheme::kShiftXY};
+}
+
+}  // namespace renoc

@@ -1,0 +1,91 @@
+// Table 1 of the paper: the plane transformation functions.
+//
+//                    New X Coordinate   New Y Coordinate
+//   Rotation         N-1-Y              X
+//   X Mirroring      N-1-X              Y
+//   X Translation    X + Offset         Y       (mod N)
+//
+// The paper's insight (Section 2.2) is that migrations which preserve the
+// workloads' relative positions are exactly the symmetries of the plane —
+// rotation, mirroring, and translation — so the new position of every
+// workload "can be algebraically determined from the current position".
+// This module implements those functions, their composition (accumulated
+// migration state), and the five concrete schemes evaluated in Figure 1:
+// Rot, X Mirror, X-Y Mirror, Right Shift, X-Y Shift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "floorplan/grid.hpp"
+
+namespace renoc {
+
+enum class TransformKind {
+  kIdentity,
+  kRotation,   ///< 90 degrees: (x,y) -> (N-1-y, x); square meshes only
+  kMirrorX,    ///< (x,y) -> (N-1-x, y)
+  kMirrorY,    ///< (x,y) -> (x, N-1-y)
+  kMirrorXY,   ///< both mirrors: (x,y) -> (N-1-x, N-1-y)
+  kShiftX,     ///< (x,y) -> ((x+offset) mod W, y)
+  kShiftXY,    ///< (x,y) -> ((x+offset) mod W, (y+offset) mod H)
+};
+
+const char* to_string(TransformKind kind);
+
+/// A single migration function (Table 1 row, with offset for translations).
+struct Transform {
+  TransformKind kind = TransformKind::kIdentity;
+  int offset = 1;  ///< translation distance for kShiftX / kShiftXY
+
+  /// New coordinate of the workload currently at `c`. Throws for rotation
+  /// on a non-square mesh (the operation is not closed there).
+  GridCoord apply(const GridCoord& c, const GridDim& dim) const;
+
+  /// The transform as a permutation: perm[i] = destination tile of the
+  /// workload currently on tile i.
+  std::vector<int> permutation(const GridDim& dim) const;
+
+  /// Coordinates that map to themselves (e.g. the central PE of an odd
+  /// mesh under rotation/mirroring — the paper's explanation for why those
+  /// schemes cannot cool central hotspots).
+  std::vector<GridCoord> fixed_points(const GridDim& dim) const;
+};
+
+/// Smallest L >= 1 with T^L = identity.
+int orbit_length(const Transform& t, const GridDim& dim);
+
+/// [identity, T, T^2, ..., T^{L-1}] as permutations.
+std::vector<std::vector<int>> orbit_permutations(const Transform& t,
+                                                 const GridDim& dim);
+
+/// Composition: (a then b) as a permutation, out[i] = b[a[i]].
+std::vector<int> compose_permutations(const std::vector<int>& a,
+                                      const std::vector<int>& b);
+
+/// Inverse permutation: out[a[i]] = i.
+std::vector<int> invert_permutation(const std::vector<int>& a);
+
+/// The identity permutation on n elements.
+std::vector<int> identity_permutation(int n);
+
+/// The five migration schemes of Figure 1, plus the static baseline.
+enum class MigrationScheme {
+  kNone,
+  kRotation,
+  kMirrorX,
+  kMirrorXY,
+  kShiftRight,
+  kShiftXY,
+};
+
+const char* to_string(MigrationScheme scheme);
+
+/// The Transform a scheme applies at each migration period (offset 1 for
+/// the translations, as in the paper's right-shift).
+Transform transform_of(MigrationScheme scheme);
+
+/// Figure 1 order: Rot, X Mirror, X-Y Mirror, Right Shift, X-Y Shift.
+std::vector<MigrationScheme> figure1_schemes();
+
+}  // namespace renoc

@@ -1,0 +1,42 @@
+#include "floorplan/grid.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+int coord_to_index(const GridCoord& c, const GridDim& dim) {
+  RENOC_CHECK_MSG(in_bounds(c, dim),
+                  to_string(c) << " out of bounds " << to_string(dim));
+  return c.y * dim.width + c.x;
+}
+
+GridCoord index_to_coord(int index, const GridDim& dim) {
+  RENOC_CHECK_MSG(index >= 0 && index < dim.node_count(),
+                  "index " << index << " out of " << to_string(dim));
+  return GridCoord{index % dim.width, index / dim.width};
+}
+
+bool in_bounds(const GridCoord& c, const GridDim& dim) {
+  return c.x >= 0 && c.x < dim.width && c.y >= 0 && c.y < dim.height;
+}
+
+int manhattan(const GridCoord& a, const GridCoord& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::string to_string(const GridCoord& c) {
+  std::ostringstream os;
+  os << "(" << c.x << "," << c.y << ")";
+  return os.str();
+}
+
+std::string to_string(const GridDim& d) {
+  std::ostringstream os;
+  os << d.width << "x" << d.height;
+  return os.str();
+}
+
+}  // namespace renoc

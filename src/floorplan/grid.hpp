@@ -1,0 +1,51 @@
+// Logical mesh coordinates.
+//
+// A PE's logical position on the NoC mesh is a (x, y) pair with
+// 0 <= x < width, 0 <= y < height. x grows to the "east" (right),
+// y to the "north" (up); node index = y * width + x, which is also the
+// router address used by the NoC and the block index used by the floorplan
+// and thermal model. Keeping one indexing convention across all modules is
+// what lets the migration transforms act uniformly on network addresses,
+// power maps, and thermal nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace renoc {
+
+/// Dimensions of a rectangular PE mesh.
+struct GridDim {
+  int width = 0;
+  int height = 0;
+
+  int node_count() const { return width * height; }
+  bool operator==(const GridDim&) const = default;
+};
+
+/// A logical (x, y) position on the mesh.
+struct GridCoord {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const GridCoord&) const = default;
+};
+
+/// Flattened node index for a coordinate (row-major, y * width + x).
+int coord_to_index(const GridCoord& c, const GridDim& dim);
+
+/// Inverse of coord_to_index.
+GridCoord index_to_coord(int index, const GridDim& dim);
+
+/// True if c lies inside the dim rectangle.
+bool in_bounds(const GridCoord& c, const GridDim& dim);
+
+/// Manhattan distance between two coordinates (the XY-routing hop count).
+int manhattan(const GridCoord& a, const GridCoord& b);
+
+/// "(x,y)" rendering for logs and test failure messages.
+std::string to_string(const GridCoord& c);
+std::string to_string(const GridDim& d);
+
+}  // namespace renoc

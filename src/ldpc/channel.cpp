@@ -1,0 +1,45 @@
+#include "ldpc/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+AwgnChannel::AwgnChannel(double ebn0_db, double rate, Rng rng)
+    : sigma_(0.0), rng_(rng) {
+  RENOC_CHECK(rate > 0.0 && rate <= 1.0);
+  const double ebn0 = std::pow(10.0, ebn0_db / 10.0);
+  sigma_ = std::sqrt(1.0 / (2.0 * rate * ebn0));
+}
+
+std::vector<double> AwgnChannel::transmit(
+    const std::vector<std::uint8_t>& bits) {
+  std::vector<double> llrs;
+  llrs.reserve(bits.size());
+  const double llr_scale = 2.0 / (sigma_ * sigma_);
+  for (std::uint8_t b : bits) {
+    const double symbol = (b & 1) ? -1.0 : 1.0;
+    const double y = symbol + sigma_ * rng_.next_gaussian();
+    llrs.push_back(llr_scale * y);
+  }
+  return llrs;
+}
+
+std::vector<std::int16_t> quantize_llrs(const std::vector<double>& llrs,
+                                        int frac_bits, int max_q) {
+  RENOC_CHECK(frac_bits >= 0 && frac_bits < 12);
+  RENOC_CHECK(max_q > 0 && max_q <= 32767);
+  const double scale = static_cast<double>(1 << frac_bits);
+  std::vector<std::int16_t> q;
+  q.reserve(llrs.size());
+  for (double v : llrs) {
+    double s = std::round(v * scale);
+    s = std::clamp(s, static_cast<double>(-max_q), static_cast<double>(max_q));
+    q.push_back(static_cast<std::int16_t>(s));
+  }
+  return q;
+}
+
+}  // namespace renoc

@@ -1,0 +1,41 @@
+// BPSK modulation over an AWGN channel, producing channel LLRs.
+//
+// The paper's simulator is "run with an encoded message"; we transmit real
+// encoded blocks through a noisy channel so the decoder does genuine work
+// (message values, iteration dynamics, and switching activity all depend on
+// the noise realization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace renoc {
+
+/// BPSK + AWGN: bit b maps to symbol 1-2b; noise has variance sigma^2 per
+/// dimension with sigma^2 = 1 / (2 * rate * 10^(EbN0_dB/10)).
+class AwgnChannel {
+ public:
+  /// `rate` is the code rate used for Eb/N0 normalization.
+  AwgnChannel(double ebn0_db, double rate, Rng rng);
+
+  /// Transmits a codeword; returns per-bit channel LLRs
+  /// (LLR = 2 y / sigma^2, positive = bit 0 more likely).
+  std::vector<double> transmit(const std::vector<std::uint8_t>& bits);
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  Rng rng_;
+};
+
+/// Quantizes channel LLRs into the fixed-point domain used by the hardware
+/// decoders: Qm.f with `frac_bits` fractional bits, saturating to
+/// [-max_q, max_q]. Both the golden and the NoC decoders operate on these
+/// values, which is what makes them bit-identical.
+std::vector<std::int16_t> quantize_llrs(const std::vector<double>& llrs,
+                                        int frac_bits = 3, int max_q = 127);
+
+}  // namespace renoc

@@ -1,0 +1,159 @@
+#include "ldpc/code.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+void LdpcCode::add_edge(int check, int var) {
+  check_adj_[static_cast<std::size_t>(check)].push_back({var, edges_});
+  var_adj_[static_cast<std::size_t>(var)].push_back({check, edges_});
+  ++edges_;
+}
+
+LdpcCode LdpcCode::make_regular(int n, int wc, int wr, Rng& rng) {
+  RENOC_CHECK_MSG(n > 0 && wc >= 2 && wr > wc,
+                  "need n>0, wc>=2, wr>wc; got n=" << n << " wc=" << wc
+                                                   << " wr=" << wr);
+  RENOC_CHECK_MSG(n % wr == 0, "n=" << n << " must be divisible by wr=" << wr);
+  const int band_rows = n / wr;
+  const int m = band_rows * wc;
+
+  LdpcCode code;
+  code.n_ = n;
+  code.m_ = m;
+  code.check_adj_.resize(static_cast<std::size_t>(m));
+  code.var_adj_.resize(static_cast<std::size_t>(n));
+
+  // Band 0: row i covers a contiguous stripe of columns.
+  for (int r = 0; r < band_rows; ++r)
+    for (int k = 0; k < wr; ++k) code.add_edge(r, r * wr + k);
+
+  // Bands 1..wc-1: random column permutations of band 0.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int band = 1; band < wc; ++band) {
+    // Fisher–Yates with the experiment RNG for reproducibility.
+    for (int i = n - 1; i > 0; --i) {
+      const int j = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    for (int r = 0; r < band_rows; ++r) {
+      const int check = band * band_rows + r;
+      for (int k = 0; k < wr; ++k)
+        code.add_edge(check, perm[static_cast<std::size_t>(r * wr + k)]);
+    }
+  }
+  RENOC_CHECK(code.edges_ == n * wc);
+  return code;
+}
+
+LdpcCode LdpcCode::make_irregular(const std::vector<int>& var_degrees,
+                                  int wr, Rng& rng) {
+  const int n = static_cast<int>(var_degrees.size());
+  RENOC_CHECK_MSG(n > 0 && wr >= 2, "need variables and wr >= 2");
+  int total = 0;
+  for (int d : var_degrees) {
+    RENOC_CHECK_MSG(d >= 1, "every variable needs degree >= 1");
+    total += d;
+  }
+  const int m = (total + wr - 1) / wr;
+
+  // Socket lists: variable sockets in node order, check sockets striped.
+  std::vector<int> var_socket;
+  var_socket.reserve(static_cast<std::size_t>(total));
+  for (int v = 0; v < n; ++v)
+    for (int k = 0; k < var_degrees[static_cast<std::size_t>(v)]; ++k)
+      var_socket.push_back(v);
+  std::vector<int> check_socket;
+  check_socket.reserve(static_cast<std::size_t>(total));
+  for (int s = 0; s < total; ++s) check_socket.push_back(s % m);
+
+  // Random matching (Fisher–Yates on the variable side).
+  for (int i = total - 1; i > 0; --i) {
+    const int j = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(var_socket[static_cast<std::size_t>(i)],
+              var_socket[static_cast<std::size_t>(j)]);
+  }
+
+  // Repair duplicate (check, var) pairings by swapping with a random other
+  // socket; a handful of passes suffices for sparse graphs.
+  auto has_pair = [&](int c, int v) {
+    for (int s = 0; s < total; ++s)
+      if (check_socket[static_cast<std::size_t>(s)] == c &&
+          var_socket[static_cast<std::size_t>(s)] == v)
+        return true;
+    return false;
+  };
+  for (int pass = 0; pass < 32; ++pass) {
+    bool clean = true;
+    std::vector<std::vector<char>> seen(
+        static_cast<std::size_t>(m), std::vector<char>(
+                                         static_cast<std::size_t>(n), 0));
+    for (int s = 0; s < total; ++s) {
+      const int c = check_socket[static_cast<std::size_t>(s)];
+      const int v = var_socket[static_cast<std::size_t>(s)];
+      if (!seen[static_cast<std::size_t>(c)][static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(c)][static_cast<std::size_t>(v)] = 1;
+        continue;
+      }
+      clean = false;
+      // Swap this socket's variable with a random other socket whose swap
+      // creates no new duplicate (best effort; retried next pass).
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const int o = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(total)));
+        const int oc = check_socket[static_cast<std::size_t>(o)];
+        const int ov = var_socket[static_cast<std::size_t>(o)];
+        if (oc == c || ov == v) continue;
+        if (has_pair(c, ov) || has_pair(oc, v)) continue;
+        std::swap(var_socket[static_cast<std::size_t>(s)],
+                  var_socket[static_cast<std::size_t>(o)]);
+        break;
+      }
+    }
+    if (clean) break;
+  }
+
+  LdpcCode code;
+  code.n_ = n;
+  code.m_ = m;
+  code.check_adj_.resize(static_cast<std::size_t>(m));
+  code.var_adj_.resize(static_cast<std::size_t>(n));
+  for (int s = 0; s < total; ++s)
+    code.add_edge(check_socket[static_cast<std::size_t>(s)],
+                  var_socket[static_cast<std::size_t>(s)]);
+  return code;
+}
+
+const std::vector<TannerEdge>& LdpcCode::check_edges(int c) const {
+  RENOC_CHECK(c >= 0 && c < m_);
+  return check_adj_[static_cast<std::size_t>(c)];
+}
+
+const std::vector<TannerEdge>& LdpcCode::var_edges(int v) const {
+  RENOC_CHECK(v >= 0 && v < n_);
+  return var_adj_[static_cast<std::size_t>(v)];
+}
+
+bool LdpcCode::is_codeword(const std::vector<std::uint8_t>& bits) const {
+  return syndrome_weight(bits) == 0;
+}
+
+int LdpcCode::syndrome_weight(const std::vector<std::uint8_t>& bits) const {
+  RENOC_CHECK(static_cast<int>(bits.size()) == n_);
+  int violated = 0;
+  for (int c = 0; c < m_; ++c) {
+    int parity = 0;
+    for (const TannerEdge& e : check_edges(c))
+      parity ^= bits[static_cast<std::size_t>(e.other)] & 1;
+    violated += parity;
+  }
+  return violated;
+}
+
+}  // namespace renoc

@@ -1,0 +1,73 @@
+// Regular LDPC code construction (Gallager ensemble).
+//
+// The DATE'05 test chips implement the NoC LDPC decoder of Theocharides et
+// al. (ISVLSI'05). We build regular (wc, wr) Gallager codes: the parity
+// matrix consists of wc row-bands; the first band has row i covering
+// columns [i*wr, (i+1)*wr); the remaining bands are random column
+// permutations of the first. This yields exactly wr ones per row and wc
+// per column, the structure the hardware decoders of that generation used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace renoc {
+
+/// One edge of the Tanner graph, identified by its global index.
+struct TannerEdge {
+  int other = 0;  ///< the node on the far side (var or check index)
+  int edge = 0;   ///< global edge id, shared by both endpoints
+};
+
+/// Sparse parity-check matrix with precomputed adjacency and edge ids.
+class LdpcCode {
+ public:
+  /// Builds a regular Gallager code: n variable nodes, wc ones per column,
+  /// wr ones per row; the check count is m = n*wc/wr. Requires n % wr == 0
+  /// and (n*wc) % wr == 0.
+  static LdpcCode make_regular(int n, int wc, int wr, Rng& rng);
+
+  /// Builds an irregular code by socket matching: variable v gets
+  /// var_degrees[v] edge sockets, checks get up to wr sockets each
+  /// (m = ceil(total/wr) checks), and a random matching pairs them.
+  /// Duplicate pairings are repaired by socket swaps; requires every
+  /// degree >= 1 and wr >= 2.
+  static LdpcCode make_irregular(const std::vector<int>& var_degrees,
+                                 int wr, Rng& rng);
+
+  int n() const { return n_; }                 ///< variable nodes
+  int m() const { return m_; }                 ///< check nodes
+  int edge_count() const { return edges_; }
+
+  /// Adjacency of check c: (variable, edge id) pairs in construction order.
+  const std::vector<TannerEdge>& check_edges(int c) const;
+  /// Adjacency of variable v: (check, edge id) pairs in construction order.
+  const std::vector<TannerEdge>& var_edges(int v) const;
+
+  int check_degree(int c) const {
+    return static_cast<int>(check_edges(c).size());
+  }
+  int var_degree(int v) const {
+    return static_cast<int>(var_edges(v).size());
+  }
+
+  /// True if `bits` (size n, 0/1) satisfies every parity check.
+  bool is_codeword(const std::vector<std::uint8_t>& bits) const;
+
+  /// Syndrome weight: number of violated checks.
+  int syndrome_weight(const std::vector<std::uint8_t>& bits) const;
+
+ private:
+  LdpcCode() = default;
+  void add_edge(int check, int var);
+
+  int n_ = 0;
+  int m_ = 0;
+  int edges_ = 0;
+  std::vector<std::vector<TannerEdge>> check_adj_;
+  std::vector<std::vector<TannerEdge>> var_adj_;
+};
+
+}  // namespace renoc

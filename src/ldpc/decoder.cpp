@@ -1,0 +1,87 @@
+#include "ldpc/decoder.hpp"
+
+#include "ldpc/minsum.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+
+MinSumDecoder::MinSumDecoder(const LdpcCode& code, int iterations,
+                             bool early_exit)
+    : code_(&code), iterations_(iterations), early_exit_(early_exit) {
+  RENOC_CHECK(iterations_ >= 1);
+}
+
+DecodeResult MinSumDecoder::decode(
+    const std::vector<std::int16_t>& channel_llrs) const {
+  const LdpcCode& code = *code_;
+  RENOC_CHECK(static_cast<int>(channel_llrs.size()) == code.n());
+
+  // Edge-indexed message arrays.
+  std::vector<std::int16_t> r(static_cast<std::size_t>(code.edge_count()), 0);
+  std::vector<std::int16_t> q(static_cast<std::size_t>(code.edge_count()), 0);
+  std::vector<std::int16_t> in_buf, out_buf;
+
+  DecodeResult result;
+  int iter = 0;
+  for (; iter < iterations_; ++iter) {
+    // --- Variable-node phase (uses r of previous iteration) -------------
+    for (int v = 0; v < code.n(); ++v) {
+      const auto& edges = code.var_edges(v);
+      in_buf.clear();
+      for (const TannerEdge& e : edges)
+        in_buf.push_back(r[static_cast<std::size_t>(e.edge)]);
+      minsum::var_update(channel_llrs[static_cast<std::size_t>(v)], in_buf,
+                         out_buf);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        q[static_cast<std::size_t>(edges[i].edge)] = out_buf[i];
+    }
+    // --- Check-node phase -------------------------------------------------
+    for (int c = 0; c < code.m(); ++c) {
+      const auto& edges = code.check_edges(c);
+      in_buf.clear();
+      for (const TannerEdge& e : edges)
+        in_buf.push_back(q[static_cast<std::size_t>(e.edge)]);
+      minsum::check_update(in_buf, out_buf);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        r[static_cast<std::size_t>(edges[i].edge)] = out_buf[i];
+    }
+    if (early_exit_) {
+      // Tentative hard decision to test the syndrome.
+      std::vector<std::uint8_t> bits(static_cast<std::size_t>(code.n()));
+      for (int v = 0; v < code.n(); ++v) {
+        in_buf.clear();
+        for (const TannerEdge& e : code.var_edges(v))
+          in_buf.push_back(r[static_cast<std::size_t>(e.edge)]);
+        bits[static_cast<std::size_t>(v)] =
+            minsum::var_posterior(channel_llrs[static_cast<std::size_t>(v)],
+                                  in_buf) < 0
+                ? 1
+                : 0;
+      }
+      if (code.is_codeword(bits)) {
+        result.hard_bits = std::move(bits);
+        result.syndrome_ok = true;
+        result.iterations_run = iter + 1;
+        return result;
+      }
+    }
+  }
+
+  // Final hard decision from posteriors.
+  result.hard_bits.resize(static_cast<std::size_t>(code.n()));
+  for (int v = 0; v < code.n(); ++v) {
+    in_buf.clear();
+    for (const TannerEdge& e : code.var_edges(v))
+      in_buf.push_back(r[static_cast<std::size_t>(e.edge)]);
+    result.hard_bits[static_cast<std::size_t>(v)] =
+        minsum::var_posterior(channel_llrs[static_cast<std::size_t>(v)],
+                              in_buf) < 0
+            ? 1
+            : 0;
+  }
+  result.syndrome_ok = code_->is_codeword(result.hard_bits);
+  result.iterations_run = iter;
+  return result;
+}
+
+}  // namespace renoc

@@ -1,0 +1,40 @@
+// Golden (non-distributed) min-sum decoder.
+//
+// Flooding schedule with a fixed iteration count, matching the hardware:
+// the NoC implementation runs a fixed number of iterations so every block
+// takes the same time, which is what lets the paper align migration
+// periods with block boundaries. Early termination on zero syndrome is
+// available as an option for BER studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/code.hpp"
+
+namespace renoc {
+
+struct DecodeResult {
+  std::vector<std::uint8_t> hard_bits;
+  bool syndrome_ok = false;
+  int iterations_run = 0;
+};
+
+class MinSumDecoder {
+ public:
+  /// `iterations` full (VN+CN) iterations; if `early_exit`, stops when the
+  /// syndrome becomes zero (checked after each CN phase).
+  MinSumDecoder(const LdpcCode& code, int iterations, bool early_exit = false);
+
+  /// Decodes quantized channel LLRs (size n).
+  DecodeResult decode(const std::vector<std::int16_t>& channel_llrs) const;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  const LdpcCode* code_;
+  int iterations_;
+  bool early_exit_;
+};
+
+}  // namespace renoc

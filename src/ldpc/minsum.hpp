@@ -1,0 +1,47 @@
+// Shared fixed-point min-sum arithmetic.
+//
+// Both the golden (software) decoder and the NoC-mapped decoder call these
+// kernels with identical operand ordering, which guarantees bit-identical
+// results — the property the tests use to prove that distributing the
+// decoder over the network does not change its function.
+//
+// Messages are int16 fixed-point LLRs saturated to [-kMsgMax, kMsgMax].
+// Check updates use normalized min-sum with factor 3/4 (exact in fixed
+// point: (3*m) >> 2), the standard hardware-friendly normalization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace renoc::minsum {
+
+inline constexpr std::int16_t kMsgMax = 127;
+
+/// Saturating addition in the message domain.
+std::int16_t sat_add(std::int16_t a, std::int16_t b);
+
+/// Normalization by 3/4, preserving sign, exact in integer arithmetic.
+std::int16_t normalize(std::int16_t magnitude);
+
+/// Variable-node update for one variable:
+/// q_e = sat( llr + sum_{e'} r_{e'} - r_e ) for each incident edge e.
+/// `incoming_r` holds the r values in the variable's edge order; the output
+/// q values are written in the same order. The total sum is accumulated in
+/// 32-bit then each extrinsic term saturates, with a canonical
+/// left-to-right order shared by both decoders.
+void var_update(std::int16_t channel_llr,
+                const std::vector<std::int16_t>& incoming_r,
+                std::vector<std::int16_t>& out_q);
+
+/// Posterior (APP) value for hard decision: llr + sum of all incoming r.
+std::int32_t var_posterior(std::int16_t channel_llr,
+                           const std::vector<std::int16_t>& incoming_r);
+
+/// Check-node update for one check:
+/// r_e = norm( prod_{e'!=e} sign(q_{e'}) * min_{e'!=e} |q_{e'}| ).
+/// Zero inputs are treated as positive sign with magnitude 0 (hardware
+/// convention). Input and output share the check's edge order.
+void check_update(const std::vector<std::int16_t>& incoming_q,
+                  std::vector<std::int16_t>& out_r);
+
+}  // namespace renoc::minsum

@@ -1,0 +1,364 @@
+#include "ldpc/noc_decoder.hpp"
+
+#include <algorithm>
+
+#include "ldpc/minsum.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+// Tag layout: [63:16] global phase, [15:0] source cluster.
+std::uint64_t make_tag(int phase, int src_cluster) {
+  return (static_cast<std::uint64_t>(phase) << 16) |
+         static_cast<std::uint64_t>(src_cluster);
+}
+int tag_phase(std::uint64_t tag) { return static_cast<int>(tag >> 16); }
+int tag_src(std::uint64_t tag) {
+  return static_cast<int>(tag & 0xffffULL);
+}
+
+}  // namespace
+
+void LdpcNocParams::validate() const {
+  RENOC_CHECK(iterations >= 1);
+  RENOC_CHECK(values_per_word >= 1 && values_per_word <= 4);
+  RENOC_CHECK(vn_cycles_per_edge >= 0 && cn_cycles_per_edge >= 0);
+  RENOC_CHECK(phase_overhead_cycles >= 0);
+  RENOC_CHECK(max_cycles_per_block > 0);
+}
+
+NocLdpcDecoder::NocLdpcDecoder(Fabric& fabric, const LdpcCode& code,
+                               Partition partition,
+                               std::vector<int> placement,
+                               LdpcNocParams params)
+    : fabric_(&fabric),
+      code_(&code),
+      partition_(std::move(partition)),
+      placement_(std::move(placement)),
+      params_(params) {
+  params_.validate();
+  partition_.validate(code);
+  RENOC_CHECK_MSG(partition_.cluster_count <= fabric.node_count(),
+                  "more clusters than tiles");
+  set_placement(placement_);
+  build_static_tables();
+  r_.resize(static_cast<std::size_t>(code.edge_count()), 0);
+  q_.resize(static_cast<std::size_t>(code.edge_count()), 0);
+}
+
+void NocLdpcDecoder::set_placement(const std::vector<int>& placement) {
+  RENOC_CHECK_MSG(static_cast<int>(placement.size()) ==
+                      partition_.cluster_count,
+                  "placement size mismatch");
+  std::vector<int> tile_cluster(
+      static_cast<std::size_t>(fabric_->node_count()), -1);
+  for (int c = 0; c < partition_.cluster_count; ++c) {
+    const int tile = placement[static_cast<std::size_t>(c)];
+    RENOC_CHECK_MSG(tile >= 0 && tile < fabric_->node_count(),
+                    "tile " << tile << " out of range");
+    RENOC_CHECK_MSG(tile_cluster[static_cast<std::size_t>(tile)] < 0,
+                    "two clusters placed on tile " << tile);
+    tile_cluster[static_cast<std::size_t>(tile)] = c;
+  }
+  placement_ = placement;
+  tile_cluster_ = std::move(tile_cluster);
+}
+
+void NocLdpcDecoder::build_static_tables() {
+  const LdpcCode& code = *code_;
+  const int k = partition_.cluster_count;
+
+  cluster_vns_.assign(static_cast<std::size_t>(k), {});
+  cluster_cns_.assign(static_cast<std::size_t>(k), {});
+  for (int v = 0; v < code.n(); ++v)
+    cluster_vns_[static_cast<std::size_t>(
+                     partition_.vn_owner[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  for (int c = 0; c < code.m(); ++c)
+    cluster_cns_[static_cast<std::size_t>(
+                     partition_.cn_owner[static_cast<std::size_t>(c)])]
+        .push_back(c);
+
+  cluster_ops_ = cluster_edge_ops(code, partition_);
+
+  // Cross-cluster edge lists, canonical ascending-edge-id order. Walking
+  // checks in index order and their edges in construction order gives
+  // ascending global edge ids within each (src, dst) bucket because edge
+  // ids were assigned in exactly that traversal order.
+  std::vector<std::vector<std::vector<int>>> vn_to_cn(
+      static_cast<std::size_t>(k),
+      std::vector<std::vector<int>>(static_cast<std::size_t>(k)));
+  for (int c = 0; c < code.m(); ++c) {
+    const int co = partition_.cn_owner[static_cast<std::size_t>(c)];
+    for (const TannerEdge& e : code.check_edges(c)) {
+      const int vo = partition_.vn_owner[static_cast<std::size_t>(e.other)];
+      if (vo == co) continue;
+      vn_to_cn[static_cast<std::size_t>(vo)][static_cast<std::size_t>(co)]
+          .push_back(e.edge);
+    }
+  }
+
+  vn_pairs_.assign(static_cast<std::size_t>(k), {});
+  cn_pairs_.assign(static_cast<std::size_t>(k), {});
+  expected_vn_inputs_.assign(static_cast<std::size_t>(k), 0);
+  expected_cn_inputs_.assign(static_cast<std::size_t>(k), 0);
+  for (int s = 0; s < k; ++s) {
+    for (int d = 0; d < k; ++d) {
+      auto& edges = vn_to_cn[static_cast<std::size_t>(s)][
+          static_cast<std::size_t>(d)];
+      if (edges.empty()) continue;
+      std::sort(edges.begin(), edges.end());
+      // q values flow VN-cluster s -> CN-cluster d...
+      vn_pairs_[static_cast<std::size_t>(s)].push_back(
+          PairTraffic{s, d, edges});
+      ++expected_cn_inputs_[static_cast<std::size_t>(d)];
+      // ...and r values flow back CN-cluster d -> VN-cluster s.
+      cn_pairs_[static_cast<std::size_t>(d)].push_back(
+          PairTraffic{d, s, edges});
+      ++expected_vn_inputs_[static_cast<std::size_t>(s)];
+    }
+  }
+}
+
+int NocLdpcDecoder::migration_state_words(int cluster) const {
+  RENOC_CHECK(cluster >= 0 && cluster < cluster_count());
+  // Channel LLRs for owned variables plus live r messages on their edges,
+  // packed like network traffic, plus a fixed configuration block
+  // (routing tables, partition descriptors, quantizer setup — what the
+  // conversion unit rewrites; Section 2.1).
+  constexpr int kConfigWords = 32;
+  std::int64_t values = 0;
+  for (int v : cluster_vns_[static_cast<std::size_t>(cluster)])
+    values += 1 + code_->var_degree(v);
+  const int vpw = params_.values_per_word;
+  return static_cast<int>((values + vpw - 1) / vpw) + kConfigWords;
+}
+
+bool NocLdpcDecoder::inputs_ready(int cluster, int phase) const {
+  const auto& rt = runtime_[static_cast<std::size_t>(cluster)];
+  const bool is_cn_phase = (phase < 2 * params_.iterations) && (phase % 2 == 1);
+  const int expected =
+      is_cn_phase ? expected_cn_inputs_[static_cast<std::size_t>(cluster)]
+                  : (phase == 0
+                         ? 0  // first VN phase needs no r messages
+                         : expected_vn_inputs_[static_cast<std::size_t>(
+                               cluster)]);
+  return rt.received[static_cast<std::size_t>(phase)] >= expected;
+}
+
+Cycle NocLdpcDecoder::phase_cost(int cluster, int phase) const {
+  const bool is_cn_phase = (phase < 2 * params_.iterations) && (phase % 2 == 1);
+  std::uint64_t edge_ops = 0;
+  if (is_cn_phase) {
+    for (int c : cluster_cns_[static_cast<std::size_t>(cluster)])
+      edge_ops += static_cast<std::uint64_t>(code_->check_degree(c));
+    return params_.phase_overhead_cycles +
+           edge_ops * static_cast<std::uint64_t>(params_.cn_cycles_per_edge);
+  }
+  for (int v : cluster_vns_[static_cast<std::size_t>(cluster)])
+    edge_ops += static_cast<std::uint64_t>(code_->var_degree(v));
+  return params_.phase_overhead_cycles +
+         edge_ops * static_cast<std::uint64_t>(params_.vn_cycles_per_edge);
+}
+
+std::uint64_t NocLdpcDecoder::phase_ops(int cluster, int phase) const {
+  const bool is_cn_phase = (phase < 2 * params_.iterations) && (phase % 2 == 1);
+  std::uint64_t ops = 0;
+  if (is_cn_phase) {
+    for (int c : cluster_cns_[static_cast<std::size_t>(cluster)])
+      ops += static_cast<std::uint64_t>(code_->check_degree(c));
+  } else {
+    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)])
+      ops += static_cast<std::uint64_t>(code_->var_degree(v));
+  }
+  return ops;
+}
+
+void NocLdpcDecoder::unpack_message(const Message& msg) {
+  const int dst_cluster = tile_cluster_[static_cast<std::size_t>(msg.dst)];
+  RENOC_CHECK_MSG(dst_cluster >= 0, "message delivered to unmapped tile");
+  const int phase = tag_phase(msg.tag);
+  const int src_cluster = tag_src(msg.tag);
+  RENOC_CHECK(phase >= 0 && phase <= phase_count());
+
+  // Locate the canonical edge list for this (src, dst) pair. A CN-phase
+  // message (odd phase) carries r values written from cn_pairs_ of the
+  // source; its edges land in r_. VN-phase messages carry q values.
+  const bool carries_q = (phase % 2 == 0) && phase < 2 * params_.iterations;
+  const auto& pair_lists =
+      carries_q ? vn_pairs_[static_cast<std::size_t>(src_cluster)]
+                : cn_pairs_[static_cast<std::size_t>(src_cluster)];
+  const PairTraffic* pair = nullptr;
+  for (const PairTraffic& pt : pair_lists) {
+    if (pt.dst == dst_cluster) {
+      pair = &pt;
+      break;
+    }
+  }
+  RENOC_CHECK_MSG(pair != nullptr, "no traffic entry for received message");
+
+  auto& target = carries_q ? q_ : r_;
+  const int vpw = params_.values_per_word;
+  for (std::size_t i = 0; i < pair->edges.size(); ++i) {
+    const std::uint64_t word = msg.payload[i / static_cast<std::size_t>(vpw)];
+    const unsigned shift = 16u * static_cast<unsigned>(i % vpw);
+    target[static_cast<std::size_t>(pair->edges[i])] =
+        static_cast<std::int16_t>((word >> shift) & 0xffffULL);
+  }
+
+  // A message sent during source phase p is consumed by the destination's
+  // *next* phase: q of VN phase 2i feeds CN phase 2i+1; r of CN phase 2i+1
+  // feeds VN (or final) phase 2i+2.
+  const int consumer_phase = phase + 1;
+  RENOC_CHECK(consumer_phase < phase_count() + 1);
+  auto& rt = runtime_[static_cast<std::size_t>(dst_cluster)];
+  ++rt.received[static_cast<std::size_t>(consumer_phase)];
+}
+
+void NocLdpcDecoder::send_phase_messages(int cluster, int phase) {
+  const bool is_cn_phase = (phase % 2 == 1);
+  const auto& pairs = is_cn_phase
+                          ? cn_pairs_[static_cast<std::size_t>(cluster)]
+                          : vn_pairs_[static_cast<std::size_t>(cluster)];
+  const auto& source = is_cn_phase ? r_ : q_;
+  const int vpw = params_.values_per_word;
+  for (const PairTraffic& pt : pairs) {
+    Message msg;
+    msg.src = placement_[static_cast<std::size_t>(cluster)];
+    msg.dst = placement_[static_cast<std::size_t>(pt.dst)];
+    msg.tag = make_tag(phase, cluster);
+    const std::size_t words =
+        (pt.edges.size() + static_cast<std::size_t>(vpw) - 1) /
+        static_cast<std::size_t>(vpw);
+    msg.payload.assign(words, 0);
+    for (std::size_t i = 0; i < pt.edges.size(); ++i) {
+      const std::uint64_t value = static_cast<std::uint16_t>(
+          source[static_cast<std::size_t>(pt.edges[i])]);
+      msg.payload[i / static_cast<std::size_t>(vpw)] |=
+          value << (16u * static_cast<unsigned>(i % vpw));
+    }
+    fabric_->send(msg);
+  }
+}
+
+void NocLdpcDecoder::start_phase_if_ready(int cluster) {
+  auto& rt = runtime_[static_cast<std::size_t>(cluster)];
+  if (rt.state != PeState::kWaiting) return;
+  if (!inputs_ready(cluster, rt.phase)) return;
+  rt.state = PeState::kComputing;
+  rt.busy_until = fabric_->now() + phase_cost(cluster, rt.phase);
+}
+
+void NocLdpcDecoder::finish_compute(int cluster) {
+  auto& rt = runtime_[static_cast<std::size_t>(cluster)];
+  const int phase = rt.phase;
+  const LdpcCode& code = *code_;
+
+  // Account the compute activity on the hosting tile.
+  fabric_->stats()
+      .tile(placement_[static_cast<std::size_t>(cluster)])
+      .pe_compute_ops += phase_ops(cluster, phase);
+
+  if (phase == 2 * params_.iterations) {
+    // Final hard-decision phase.
+    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)]) {
+      scratch_in_.clear();
+      for (const TannerEdge& e : code.var_edges(v))
+        scratch_in_.push_back(r_[static_cast<std::size_t>(e.edge)]);
+      hard_bits_[static_cast<std::size_t>(v)] =
+          minsum::var_posterior(llr_[static_cast<std::size_t>(v)],
+                                scratch_in_) < 0
+              ? 1
+              : 0;
+    }
+    rt.state = PeState::kDone;
+    return;
+  }
+
+  if (phase % 2 == 0) {
+    // VN phase: q = f(llr, r) for every owned variable.
+    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)]) {
+      const auto& edges = code.var_edges(v);
+      scratch_in_.clear();
+      for (const TannerEdge& e : edges)
+        scratch_in_.push_back(r_[static_cast<std::size_t>(e.edge)]);
+      minsum::var_update(llr_[static_cast<std::size_t>(v)], scratch_in_,
+                         scratch_out_);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        q_[static_cast<std::size_t>(edges[i].edge)] = scratch_out_[i];
+    }
+  } else {
+    // CN phase: r = g(q) for every owned check.
+    for (int c : cluster_cns_[static_cast<std::size_t>(cluster)]) {
+      const auto& edges = code.check_edges(c);
+      scratch_in_.clear();
+      for (const TannerEdge& e : edges)
+        scratch_in_.push_back(q_[static_cast<std::size_t>(e.edge)]);
+      minsum::check_update(scratch_in_, scratch_out_);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        r_[static_cast<std::size_t>(edges[i].edge)] = scratch_out_[i];
+    }
+  }
+
+  send_phase_messages(cluster, phase);
+  // Same-cluster values were written directly into q_/r_ above, so the
+  // only bookkeeping needed is advancing to the next phase.
+  rt.phase = phase + 1;
+  rt.state = PeState::kWaiting;
+}
+
+NocDecodeResult NocLdpcDecoder::decode_block(
+    const std::vector<std::int16_t>& channel_llrs) {
+  const LdpcCode& code = *code_;
+  RENOC_CHECK(static_cast<int>(channel_llrs.size()) == code.n());
+  RENOC_CHECK_MSG(fabric_->idle(), "fabric must be idle at block start");
+
+  llr_ = channel_llrs;
+  std::fill(r_.begin(), r_.end(), static_cast<std::int16_t>(0));
+  std::fill(q_.begin(), q_.end(), static_cast<std::int16_t>(0));
+  hard_bits_.assign(static_cast<std::size_t>(code.n()), 0);
+
+  runtime_.assign(static_cast<std::size_t>(cluster_count()), ClusterRuntime{});
+  for (auto& rt : runtime_)
+    rt.received.assign(static_cast<std::size_t>(phase_count() + 1), 0);
+
+  const Cycle start = fabric_->now();
+  Cycle done_at = start;
+  const std::uint64_t deadline = start + params_.max_cycles_per_block;
+
+  for (;;) {
+    // Deliver any completed packets to their clusters.
+    for (int tile = 0; tile < fabric_->node_count(); ++tile) {
+      while (auto msg = fabric_->try_receive(tile)) unpack_message(*msg);
+    }
+
+    // Advance every PE's state machine.
+    bool all_done = true;
+    for (int cl = 0; cl < cluster_count(); ++cl) {
+      auto& rt = runtime_[static_cast<std::size_t>(cl)];
+      if (rt.state == PeState::kWaiting) start_phase_if_ready(cl);
+      if (rt.state == PeState::kComputing &&
+          fabric_->now() >= rt.busy_until) {
+        finish_compute(cl);
+        // A cluster whose next phase needs no further input (e.g. all its
+        // edges are internal) can begin immediately next cycle.
+        if (rt.state == PeState::kDone) done_at = fabric_->now();
+      }
+      if (rt.state != PeState::kDone) all_done = false;
+    }
+    if (all_done) break;
+
+    fabric_->step();
+    RENOC_CHECK_MSG(fabric_->now() < deadline,
+                    "block exceeded max_cycles_per_block — decoder deadlock?");
+  }
+
+  NocDecodeResult result;
+  result.hard_bits = hard_bits_;
+  result.syndrome_ok = code.is_codeword(hard_bits_);
+  result.cycles = done_at - start;
+  return result;
+}
+
+}  // namespace renoc

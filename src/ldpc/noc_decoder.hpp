@@ -1,0 +1,139 @@
+// The LDPC decoder distributed over the NoC fabric.
+//
+// Each cluster of the Partition runs on one PE (tile). Decoding follows the
+// flooding schedule of the golden MinSumDecoder, but inter-cluster message
+// values physically traverse the mesh as wormhole packets:
+//
+//   per iteration:
+//     VN phase: every PE, once it holds all check-to-variable (r) values
+//               for its variables, computes q values for all incident
+//               edges (busy for cycles proportional to its edge count)
+//               and sends one aggregated packet per destination PE;
+//     CN phase: symmetric, computing r values;
+//   final:      after the last CN phase, PEs compute hard decisions.
+//
+// Values are int16 fixed-point, packed four per 64-bit flit word in a
+// canonical per-(source,destination,phase) edge order precomputed at
+// construction, so sender and receiver agree without per-value headers.
+// All arithmetic goes through ldpc/minsum.hpp with the same operand
+// ordering as the golden decoder, making the distributed result
+// bit-identical — the key functional invariant under test.
+//
+// Timing is value-independent (fixed iterations, static message sets), so
+// every block takes the same number of cycles: the deterministic block time
+// the paper aligns migration periods with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/code.hpp"
+#include "ldpc/partition.hpp"
+#include "noc/fabric.hpp"
+
+namespace renoc {
+
+struct LdpcNocParams {
+  int iterations = 10;
+  int values_per_word = 4;       ///< int16 values packed per flit word
+  int vn_cycles_per_edge = 1;    ///< PE cycles per edge in a VN update
+  int cn_cycles_per_edge = 1;    ///< PE cycles per edge in a CN update
+  int phase_overhead_cycles = 8; ///< fixed sequencing cost per phase
+  std::uint64_t max_cycles_per_block = 5'000'000;  ///< deadlock guard
+
+  void validate() const;
+};
+
+struct NocDecodeResult {
+  std::vector<std::uint8_t> hard_bits;
+  bool syndrome_ok = false;
+  Cycle cycles = 0;  ///< block latency in fabric cycles
+};
+
+class NocLdpcDecoder {
+ public:
+  /// `placement[cluster]` is the tile hosting that cluster; it must be an
+  /// injective map into the fabric's nodes. Cluster count must not exceed
+  /// the node count.
+  NocLdpcDecoder(Fabric& fabric, const LdpcCode& code, Partition partition,
+                 std::vector<int> placement, LdpcNocParams params = {});
+
+  /// Re-homes clusters onto new tiles (runtime reconfiguration). Must not
+  /// be called mid-block.
+  void set_placement(const std::vector<int>& placement);
+  const std::vector<int>& placement() const { return placement_; }
+
+  /// Decodes one block, driving the fabric until completion.
+  NocDecodeResult decode_block(const std::vector<std::int16_t>& channel_llrs);
+
+  int cluster_count() const { return partition_.cluster_count; }
+  const Partition& partition() const { return partition_; }
+
+  /// Edge-ops per cluster per full iteration (compute-power proxy).
+  const std::vector<std::uint64_t>& cluster_ops() const {
+    return cluster_ops_;
+  }
+
+  /// Words of configuration+state a PE must ship when its cluster migrates:
+  /// channel LLRs + live r messages (packed 4/word) + a fixed config block.
+  int migration_state_words(int cluster) const;
+
+ private:
+  // Phase indices: iteration i contributes phases 2i (VN) and 2i+1 (CN);
+  // phase 2*iterations is the final hard-decision phase.
+  int phase_count() const { return 2 * params_.iterations + 1; }
+
+  enum class PeState { kWaiting, kComputing, kDone };
+
+  struct ClusterRuntime {
+    PeState state = PeState::kWaiting;
+    int phase = 0;
+    Cycle busy_until = 0;
+    std::vector<int> received;  // per phase, messages received so far
+  };
+
+  // Static per-(src,dst) edge lists, canonical order (ascending edge id).
+  struct PairTraffic {
+    int src = 0;
+    int dst = 0;
+    std::vector<int> edges;
+  };
+
+  void build_static_tables();
+  void unpack_message(const Message& msg);
+  void start_phase_if_ready(int cluster);
+  void finish_compute(int cluster);
+  void send_phase_messages(int cluster, int phase);
+  bool inputs_ready(int cluster, int phase) const;
+  Cycle phase_cost(int cluster, int phase) const;
+  std::uint64_t phase_ops(int cluster, int phase) const;
+
+  Fabric* fabric_;
+  const LdpcCode* code_;
+  Partition partition_;
+  std::vector<int> placement_;      // cluster -> tile
+  std::vector<int> tile_cluster_;   // tile -> cluster (-1 none)
+  LdpcNocParams params_;
+
+  // Static structure.
+  std::vector<std::vector<int>> cluster_vns_;
+  std::vector<std::vector<int>> cluster_cns_;
+  std::vector<std::uint64_t> cluster_ops_;
+  // vn_pairs_[s]: traffic sent by cluster s during VN phases (q values,
+  // keyed by destination CN cluster). cn_pairs_ symmetric for r values.
+  std::vector<std::vector<PairTraffic>> vn_pairs_;
+  std::vector<std::vector<PairTraffic>> cn_pairs_;
+  // Expected distinct incoming messages per cluster for each phase kind.
+  std::vector<int> expected_vn_inputs_;  // r-messages needed before VN/final
+  std::vector<int> expected_cn_inputs_;  // q-messages needed before CN
+
+  // Per-block dynamic state.
+  std::vector<std::int16_t> r_;  // edge-indexed check->var messages
+  std::vector<std::int16_t> q_;  // edge-indexed var->check messages
+  std::vector<std::int16_t> llr_;
+  std::vector<std::uint8_t> hard_bits_;
+  std::vector<ClusterRuntime> runtime_;
+  std::vector<std::int16_t> scratch_in_, scratch_out_;
+};
+
+}  // namespace renoc

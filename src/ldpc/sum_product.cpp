@@ -1,0 +1,94 @@
+#include "ldpc/sum_product.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+// Numerical guards for the tanh rule: tanh saturates at |x| ~ 19 in
+// double precision; clamping keeps atanh finite.
+constexpr double kLlrClamp = 30.0;
+constexpr double kTanhClamp = 0.999999999999;
+
+double clamp_llr(double v) { return std::clamp(v, -kLlrClamp, kLlrClamp); }
+
+}  // namespace
+
+SumProductDecoder::SumProductDecoder(const LdpcCode& code, int iterations,
+                                     bool early_exit)
+    : code_(&code), iterations_(iterations), early_exit_(early_exit) {
+  RENOC_CHECK(iterations_ >= 1);
+}
+
+DecodeResult SumProductDecoder::decode(
+    const std::vector<double>& channel_llrs) const {
+  const LdpcCode& code = *code_;
+  RENOC_CHECK(static_cast<int>(channel_llrs.size()) == code.n());
+
+  std::vector<double> r(static_cast<std::size_t>(code.edge_count()), 0.0);
+  std::vector<double> q(static_cast<std::size_t>(code.edge_count()), 0.0);
+
+  auto hard_decide = [&](std::vector<std::uint8_t>& bits) {
+    bits.resize(static_cast<std::size_t>(code.n()));
+    for (int v = 0; v < code.n(); ++v) {
+      double total = channel_llrs[static_cast<std::size_t>(v)];
+      for (const TannerEdge& e : code.var_edges(v))
+        total += r[static_cast<std::size_t>(e.edge)];
+      bits[static_cast<std::size_t>(v)] = total < 0 ? 1 : 0;
+    }
+  };
+
+  DecodeResult result;
+  for (int iter = 0; iter < iterations_; ++iter) {
+    // Variable update: q_e = llr + sum r - r_e.
+    for (int v = 0; v < code.n(); ++v) {
+      double total = channel_llrs[static_cast<std::size_t>(v)];
+      for (const TannerEdge& e : code.var_edges(v))
+        total += r[static_cast<std::size_t>(e.edge)];
+      for (const TannerEdge& e : code.var_edges(v))
+        q[static_cast<std::size_t>(e.edge)] =
+            clamp_llr(total - r[static_cast<std::size_t>(e.edge)]);
+    }
+    // Check update: tanh(r_e/2) = prod_{e' != e} tanh(q_{e'}/2).
+    for (int c = 0; c < code.m(); ++c) {
+      const auto& edges = code.check_edges(c);
+      // Full product with exclusion by division is numerically fragile
+      // near zero; use prefix/suffix products instead.
+      const std::size_t deg = edges.size();
+      std::vector<double> tanh_q(deg);
+      for (std::size_t i = 0; i < deg; ++i)
+        tanh_q[i] = std::tanh(
+            q[static_cast<std::size_t>(edges[i].edge)] / 2.0);
+      std::vector<double> prefix(deg + 1, 1.0), suffix(deg + 1, 1.0);
+      for (std::size_t i = 0; i < deg; ++i)
+        prefix[i + 1] = prefix[i] * tanh_q[i];
+      for (std::size_t i = deg; i-- > 0;)
+        suffix[i] = suffix[i + 1] * tanh_q[i];
+      for (std::size_t i = 0; i < deg; ++i) {
+        const double prod = std::clamp(prefix[i] * suffix[i + 1],
+                                       -kTanhClamp, kTanhClamp);
+        r[static_cast<std::size_t>(edges[i].edge)] =
+            clamp_llr(2.0 * std::atanh(prod));
+      }
+    }
+    if (early_exit_) {
+      std::vector<std::uint8_t> bits;
+      hard_decide(bits);
+      if (code.is_codeword(bits)) {
+        result.hard_bits = std::move(bits);
+        result.syndrome_ok = true;
+        result.iterations_run = iter + 1;
+        return result;
+      }
+    }
+  }
+  hard_decide(result.hard_bits);
+  result.syndrome_ok = code.is_codeword(result.hard_bits);
+  result.iterations_run = iterations_;
+  return result;
+}
+
+}  // namespace renoc

@@ -1,0 +1,34 @@
+// Floating-point sum-product (belief propagation) reference decoder.
+//
+// The hardware decoders use quantized normalized min-sum; sum-product with
+// the exact tanh rule is the information-theoretic reference they
+// approximate. Having both lets tests pin the approximation quality
+// (min-sum must track sum-product within a fraction of a dB) and gives
+// users a golden yardstick for new code constructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/code.hpp"
+#include "ldpc/decoder.hpp"
+
+namespace renoc {
+
+class SumProductDecoder {
+ public:
+  /// `iterations` full flooding iterations; stops early on a zero
+  /// syndrome if `early_exit`.
+  SumProductDecoder(const LdpcCode& code, int iterations,
+                    bool early_exit = true);
+
+  /// Decodes unquantized channel LLRs (size n).
+  DecodeResult decode(const std::vector<double>& channel_llrs) const;
+
+ private:
+  const LdpcCode* code_;
+  int iterations_;
+  bool early_exit_;
+};
+
+}  // namespace renoc

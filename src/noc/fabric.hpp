@@ -1,0 +1,127 @@
+// Mesh fabric: routers + links + network interfaces, stepped cycle by cycle.
+//
+// The Fabric is the "modified cycle-accurate NoC simulator" of the DATE'05
+// flow. Workload engines (the LDPC decoder, traffic generators, the
+// migration controller) drive it in a simple loop:
+//
+//   fabric.send(msg);                  // enqueue at the source NI
+//   fabric.step();                     // advance one clock
+//   while (auto m = fabric.try_receive(node)) { ... }
+//
+// Cycle semantics (one step() call):
+//   1. Arbitration: every router plans at most one flit move per output
+//      port from the pre-cycle state (credits, FIFO heads).
+//   2. Commit: planned flits pop from input FIFOs, traverse the crossbar,
+//      and land in the downstream input FIFO (1-cycle link) or the local
+//      ejection queue; credits update (1-cycle credit loop).
+//   3. Injection: each enabled NI streams up to one flit of its current
+//      packet into the router's local input FIFO.
+//
+// Every event increments the activity counters that feed the power model.
+// Ejection is ideal (unbounded reassembly buffers); injection queues are
+// unbounded but serialize at one flit per cycle. Both are standard
+// simulator idealizations and are documented in DESIGN.md.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "floorplan/grid.hpp"
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/stats.hpp"
+
+namespace renoc {
+
+/// Static fabric parameters.
+struct NocConfig {
+  GridDim dim{4, 4};
+  int buffer_depth = 4;      ///< input FIFO depth, flits
+  double clock_hz = 500e6;   ///< used to convert cycles to seconds
+
+  void validate() const;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const NocConfig& config);
+
+  const NocConfig& config() const { return config_; }
+  int node_count() const { return config_.dim.node_count(); }
+  Cycle now() const { return now_; }
+  double seconds(Cycle cycles) const {
+    return static_cast<double>(cycles) / config_.clock_hz;
+  }
+
+  /// Enqueues a message at its source NI. The message must have valid src
+  /// and dst node indices. Injection order per source is FIFO.
+  void send(const Message& msg);
+
+  /// Pops the next fully-reassembled message delivered to `node`, if any.
+  std::optional<Message> try_receive(int node);
+
+  /// Number of delivered-but-unread messages at `node`.
+  int delivered_count(int node) const;
+
+  /// Advances the clock by one cycle.
+  void step();
+  /// Advances `n` cycles.
+  void run(int n);
+
+  /// Runs until the network is completely idle (no buffered flits, no
+  /// pending injections). Returns the number of cycles stepped. Throws if
+  /// the network fails to drain within `max_cycles`.
+  int drain(int max_cycles = 1'000'000);
+
+  /// True if no flit is buffered or in flight and all NI queues are empty.
+  bool idle() const;
+
+  /// Enables/disables injection at a node (used to halt PEs during
+  /// migration; delivery continues so in-flight packets can land).
+  void set_injection_enabled(int node, bool enabled);
+  bool injection_enabled(int node) const;
+
+  /// Messages waiting (not yet fully injected) at a node's NI.
+  int pending_send_count(int node) const;
+
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  /// Per-node network interface state.
+  struct NetworkInterface {
+    bool enabled = true;
+    std::deque<Message> send_queue;
+    // Serializer state for the message currently being injected.
+    std::vector<Flit> staged_flits;
+    std::size_t staged_pos = 0;
+    std::deque<Message> delivered;
+    // Reassembly of incoming packets by packet id.
+    struct Partial {
+      Message msg;
+      Cycle head_injected_at = 0;
+      int flits = 0;
+    };
+    std::unordered_map<PacketId, Partial> partial;
+  };
+
+  void stage_next_message(int node);
+  void inject_phase();
+  void eject_flit(int node, const Flit& flit);
+
+  NocConfig config_;
+  Cycle now_ = 0;
+  PacketId next_packet_id_ = 1;
+  std::vector<Router> routers_;
+  std::vector<NetworkInterface> nis_;
+  // credits_[node][dir]: free downstream slots for the output `dir` of
+  // `node` (mesh directions only; ejection is always available).
+  std::vector<std::array<int, 4>> credits_;
+  NetworkStats stats_;
+  std::vector<PlannedMove> planned_;  // scratch, reused across cycles
+};
+
+}  // namespace renoc

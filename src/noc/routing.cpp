@@ -1,0 +1,61 @@
+#include "noc/routing.hpp"
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return "north";
+    case Direction::kSouth: return "south";
+    case Direction::kEast: return "east";
+    case Direction::kWest: return "west";
+    case Direction::kLocal: return "local";
+  }
+  return "?";
+}
+
+Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kLocal: break;
+  }
+  RENOC_CHECK_MSG(false, "kLocal has no opposite direction");
+}
+
+Direction xy_route(const GridCoord& here, const GridCoord& dst) {
+  if (dst.x > here.x) return Direction::kEast;
+  if (dst.x < here.x) return Direction::kWest;
+  if (dst.y > here.y) return Direction::kNorth;
+  if (dst.y < here.y) return Direction::kSouth;
+  return Direction::kLocal;
+}
+
+GridCoord neighbor(const GridCoord& c, Direction d) {
+  switch (d) {
+    case Direction::kNorth: return {c.x, c.y + 1};
+    case Direction::kSouth: return {c.x, c.y - 1};
+    case Direction::kEast: return {c.x + 1, c.y};
+    case Direction::kWest: return {c.x - 1, c.y};
+    case Direction::kLocal: break;
+  }
+  RENOC_CHECK_MSG(false, "neighbor() requires a mesh direction");
+}
+
+std::vector<int> xy_path(const GridCoord& src, const GridCoord& dst,
+                         const GridDim& dim) {
+  RENOC_CHECK(in_bounds(src, dim) && in_bounds(dst, dim));
+  std::vector<int> path;
+  GridCoord cur = src;
+  path.push_back(coord_to_index(cur, dim));
+  while (!(cur == dst)) {
+    cur = neighbor(cur, xy_route(cur, dst));
+    path.push_back(coord_to_index(cur, dim));
+  }
+  return path;
+}
+
+}  // namespace renoc

@@ -1,0 +1,43 @@
+// Dimension-order (XY) routing on a 2-D mesh.
+//
+// XY routing first corrects the X coordinate, then the Y coordinate, then
+// ejects locally. On a mesh with one flit class this is provably
+// deadlock-free (no turn from Y back to X exists), which is why the paper's
+// platform — like most NoC prototypes of the era — uses it.
+#pragma once
+
+#include "floorplan/grid.hpp"
+
+namespace renoc {
+
+/// Router port directions. kLocal is the PE/NI port.
+enum class Direction : std::uint8_t {
+  kNorth = 0,  // +y
+  kSouth = 1,  // -y
+  kEast = 2,   // +x
+  kWest = 3,   // -x
+  kLocal = 4,
+};
+
+inline constexpr int kDirectionCount = 5;
+
+/// Human-readable direction name ("north", ...).
+const char* to_string(Direction d);
+
+/// The opposite mesh direction (north<->south, east<->west). kLocal has no
+/// opposite; passing it is a checked error.
+Direction opposite(Direction d);
+
+/// Next output port for a flit currently at `here` heading to `dst`.
+Direction xy_route(const GridCoord& here, const GridCoord& dst);
+
+/// Neighbor coordinate one hop in direction `d` (must not be kLocal).
+GridCoord neighbor(const GridCoord& c, Direction d);
+
+/// The full XY path from src to dst as a list of traversed node indices,
+/// starting with src and ending with dst (inclusive). Used by the migration
+/// phase scheduler to prove link-disjointness.
+std::vector<int> xy_path(const GridCoord& src, const GridCoord& dst,
+                         const GridDim& dim);
+
+}  // namespace renoc

@@ -1,0 +1,57 @@
+#include "power/leakage_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+LeakageLoopResult solve_leakage_fixed_point(
+    const SteadyStateSolver& solver, const EnergyModel& energy,
+    const std::vector<double>& dynamic_power, double tol_c,
+    int max_iterations) {
+  const RcNetwork& net = solver.network();
+  RENOC_CHECK(static_cast<int>(dynamic_power.size()) == net.die_count());
+  RENOC_CHECK(tol_c > 0 && max_iterations >= 1);
+
+  LeakageLoopResult result;
+  result.die_temps.assign(dynamic_power.size(), net.ambient());
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Power at the current temperature estimate.
+    result.total_power = dynamic_power;
+    for (std::size_t i = 0; i < result.total_power.size(); ++i)
+      result.total_power[i] +=
+          energy.tile_leakage_power(result.die_temps[i]);
+
+    const std::vector<double> rise =
+        solver.solve_die_power(result.total_power);
+    double max_delta = 0.0;
+    bool finite = true;
+    for (int i = 0; i < net.die_count(); ++i) {
+      const double t = net.ambient() + rise[static_cast<std::size_t>(i)];
+      if (!std::isfinite(t) || t > 1000.0) finite = false;
+      max_delta = std::max(
+          max_delta, std::fabs(t - result.die_temps[static_cast<std::size_t>(
+                                       i)]));
+      result.die_temps[static_cast<std::size_t>(i)] = t;
+    }
+    if (!finite) {
+      // Thermal runaway: the loop gain exceeds one and temperatures are
+      // diverging. Report the last state without claiming convergence.
+      result.converged = false;
+      break;
+    }
+    if (max_delta < tol_c) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.peak_temp_c =
+      *std::max_element(result.die_temps.begin(), result.die_temps.end());
+  return result;
+}
+
+}  // namespace renoc

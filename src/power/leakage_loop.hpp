@@ -1,0 +1,39 @@
+// Temperature-dependent leakage via fixed-point iteration.
+//
+// Leakage grows (roughly exponentially) with temperature, and temperature
+// grows with power — a feedback loop the base experiments linearize away
+// (leak_beta = 0, as the paper's era of tools commonly did). This solver
+// closes the loop for studies that want it:
+//
+//   T_0 = solve(P_dyn + P_leak(T_ref))
+//   T_{k+1} = solve(P_dyn + P_leak(T_k))     until max |dT| < tol
+//
+// The iteration converges whenever the loop gain (dP_leak/dT times the
+// network's thermal resistance) stays below one; beyond that the chip is
+// in genuine thermal runaway, which the solver reports rather than hides.
+#pragma once
+
+#include <vector>
+
+#include "power/energy_model.hpp"
+#include "thermal/solver.hpp"
+
+namespace renoc {
+
+struct LeakageLoopResult {
+  std::vector<double> die_temps;    ///< converged absolute temperatures (C)
+  std::vector<double> total_power;  ///< dynamic + converged leakage, W/tile
+  double peak_temp_c = 0.0;
+  int iterations = 0;
+  bool converged = false;  ///< false = thermal runaway (or max_iters hit)
+};
+
+/// Solves the coupled leakage/temperature fixed point for a per-tile
+/// dynamic power map. `energy.params().leak_beta == 0` reduces to a single
+/// linear solve.
+LeakageLoopResult solve_leakage_fixed_point(
+    const SteadyStateSolver& solver, const EnergyModel& energy,
+    const std::vector<double>& dynamic_power, double tol_c = 1e-4,
+    int max_iterations = 100);
+
+}  // namespace renoc

@@ -1,0 +1,66 @@
+#include "power/power_map.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+void check_permutation(const std::vector<int>& perm) {
+  std::vector<char> seen(perm.size(), 0);
+  for (int p : perm) {
+    RENOC_CHECK_MSG(p >= 0 && p < static_cast<int>(perm.size()),
+                    "permutation entry " << p << " out of range");
+    RENOC_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
+                    "permutation repeats entry " << p);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+std::vector<double> apply_permutation(const std::vector<double>& power,
+                                      const std::vector<int>& perm) {
+  RENOC_CHECK(power.size() == perm.size());
+  check_permutation(perm);
+  std::vector<double> out(power.size());
+  for (std::size_t i = 0; i < power.size(); ++i)
+    out[static_cast<std::size_t>(perm[i])] = power[i];
+  return out;
+}
+
+std::vector<double> average_maps(
+    const std::vector<std::vector<double>>& maps) {
+  RENOC_CHECK(!maps.empty());
+  std::vector<double> avg(maps.front().size(), 0.0);
+  for (const auto& m : maps) {
+    RENOC_CHECK(m.size() == avg.size());
+    for (std::size_t i = 0; i < m.size(); ++i) avg[i] += m[i];
+  }
+  const double inv = 1.0 / static_cast<double>(maps.size());
+  for (double& v : avg) v *= inv;
+  return avg;
+}
+
+double total_power(const std::vector<double>& map) {
+  double s = 0.0;
+  for (double v : map) s += v;
+  return s;
+}
+
+double max_power(const std::vector<double>& map) {
+  RENOC_CHECK(!map.empty());
+  return *std::max_element(map.begin(), map.end());
+}
+
+void scale_map(std::vector<double>& map, double s) {
+  for (double& v : map) v *= s;
+}
+
+std::vector<double> add_maps(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  RENOC_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace renoc

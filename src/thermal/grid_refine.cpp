@@ -1,0 +1,76 @@
+#include "thermal/grid_refine.hpp"
+
+#include <algorithm>
+
+#include "thermal/solver.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+
+RefinedThermalModel::RefinedThermalModel(const GridDim& tile_dim,
+                                         double tile_area,
+                                         const HotSpotParams& params,
+                                         int refine)
+    : tile_dim_(tile_dim),
+      fine_dim_{tile_dim.width * refine, tile_dim.height * refine},
+      refine_(refine),
+      net_(build_rc_network(
+          make_grid_floorplan(fine_dim_,
+                              tile_area / (static_cast<double>(refine) *
+                                           refine)),
+          params)) {
+  RENOC_CHECK_MSG(refine >= 1 && refine <= 8,
+                  "refine factor " << refine << " out of supported range");
+}
+
+std::vector<int> RefinedThermalModel::subblocks_of_tile(int tile) const {
+  RENOC_CHECK(tile >= 0 && tile < tile_dim_.node_count());
+  const GridCoord tc = index_to_coord(tile, tile_dim_);
+  std::vector<int> blocks;
+  blocks.reserve(static_cast<std::size_t>(refine_ * refine_));
+  for (int dy = 0; dy < refine_; ++dy) {
+    for (int dx = 0; dx < refine_; ++dx) {
+      const GridCoord fc{tc.x * refine_ + dx, tc.y * refine_ + dy};
+      blocks.push_back(coord_to_index(fc, fine_dim_));
+    }
+  }
+  return blocks;
+}
+
+std::vector<double> RefinedThermalModel::refine_power(
+    const std::vector<double>& tile_power) const {
+  RENOC_CHECK(static_cast<int>(tile_power.size()) == tile_dim_.node_count());
+  std::vector<double> fine(
+      static_cast<std::size_t>(fine_dim_.node_count()), 0.0);
+  const double share = 1.0 / (static_cast<double>(refine_) * refine_);
+  for (int tile = 0; tile < tile_dim_.node_count(); ++tile) {
+    const double p = tile_power[static_cast<std::size_t>(tile)] * share;
+    for (int b : subblocks_of_tile(tile))
+      fine[static_cast<std::size_t>(b)] = p;
+  }
+  return fine;
+}
+
+std::vector<double> RefinedThermalModel::tile_temperatures(
+    const std::vector<double>& rise) const {
+  RENOC_CHECK(static_cast<int>(rise.size()) == net_.node_count());
+  std::vector<double> temps(
+      static_cast<std::size_t>(tile_dim_.node_count()));
+  for (int tile = 0; tile < tile_dim_.node_count(); ++tile) {
+    double peak = -1e300;
+    for (int b : subblocks_of_tile(tile))
+      peak = std::max(peak, rise[static_cast<std::size_t>(b)]);
+    temps[static_cast<std::size_t>(tile)] = net_.ambient() + peak;
+  }
+  return temps;
+}
+
+double RefinedThermalModel::peak_tile_temperature(
+    const std::vector<double>& tile_power) const {
+  SteadyStateSolver solver(net_);
+  const std::vector<double> rise =
+      solver.solve_die_power(refine_power(tile_power));
+  return net_.ambient() + net_.peak_die_rise(rise);
+}
+
+}  // namespace renoc

@@ -1,0 +1,24 @@
+#include "thermal/hotspot_params.hpp"
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+void HotSpotParams::validate() const {
+  RENOC_CHECK(t_die > 0 && k_die > 0 && c_die > 0);
+  RENOC_CHECK(t_interface > 0 && k_interface > 0 && c_interface > 0);
+  RENOC_CHECK(s_spreader > 0 && t_spreader > 0 && k_spreader > 0 &&
+              c_spreader > 0);
+  RENOC_CHECK(s_sink >= s_spreader && t_sink > 0 && k_sink > 0 && c_sink > 0);
+  RENOC_CHECK(r_convec > 0 && c_convec > 0);
+  RENOC_CHECK_MSG(ambient > -50 && ambient < 150,
+                  "ambient " << ambient << " C is outside plausible range");
+}
+
+HotSpotParams date05_hotspot_params() {
+  HotSpotParams p;  // defaults are already the HotSpot default package
+  p.ambient = 40.0;
+  return p;
+}
+
+}  // namespace renoc

@@ -1,0 +1,90 @@
+#include "thermal/solver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+Matrix step_matrix(const RcNetwork& net, double dt) {
+  RENOC_CHECK_MSG(dt > 0.0, "transient dt must be positive");
+  Matrix m = net.conductance();
+  for (int i = 0; i < net.node_count(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m(u, u) += net.capacitance()[u] / dt;
+  }
+  return m;
+}
+
+}  // namespace
+
+SteadyStateSolver::SteadyStateSolver(const RcNetwork& net)
+    : net_(&net), lu_(net.conductance()) {}
+
+std::vector<double> SteadyStateSolver::solve(
+    const std::vector<double>& power) const {
+  RENOC_CHECK(static_cast<int>(power.size()) == net_->node_count());
+  return lu_.solve(power);
+}
+
+std::vector<double> SteadyStateSolver::solve_die_power(
+    const std::vector<double>& die_power) const {
+  return solve(net_->expand_die_power(die_power));
+}
+
+double SteadyStateSolver::peak_die_temperature(
+    const std::vector<double>& die_power) const {
+  const std::vector<double> rise = solve_die_power(die_power);
+  return net_->ambient() + net_->peak_die_rise(rise);
+}
+
+TransientSolver::TransientSolver(const RcNetwork& net, double dt)
+    : net_(&net),
+      dt_(dt),
+      step_lu_(step_matrix(net, dt)),
+      c_over_dt_(static_cast<std::size_t>(net.node_count())),
+      state_(static_cast<std::size_t>(net.node_count()), 0.0),
+      rhs_(static_cast<std::size_t>(net.node_count()), 0.0) {
+  for (int i = 0; i < net.node_count(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    c_over_dt_[u] = net.capacitance()[u] / dt;
+  }
+}
+
+void TransientSolver::set_state(std::vector<double> rise) {
+  RENOC_CHECK(static_cast<int>(rise.size()) == net_->node_count());
+  state_ = std::move(rise);
+}
+
+void TransientSolver::set_state_to_steady(
+    const std::vector<double>& die_power) {
+  SteadyStateSolver steady(*net_);
+  state_ = steady.solve_die_power(die_power);
+}
+
+void TransientSolver::step(const std::vector<double>& power) {
+  RENOC_CHECK(static_cast<int>(power.size()) == net_->node_count());
+  for (std::size_t i = 0; i < state_.size(); ++i)
+    rhs_[i] = c_over_dt_[i] * state_[i] + power[i];
+  step_lu_.solve_in_place(rhs_);
+  std::swap(state_, rhs_);
+}
+
+void TransientSolver::step_die_power(const std::vector<double>& die_power) {
+  step(net_->expand_die_power(die_power));
+}
+
+double TransientSolver::run_die_power(const std::vector<double>& die_power,
+                                      int steps) {
+  RENOC_CHECK(steps >= 0);
+  const std::vector<double> full = net_->expand_die_power(die_power);
+  double peak = net_->peak_die_rise(state_);
+  for (int s = 0; s < steps; ++s) {
+    step(full);
+    peak = std::max(peak, net_->peak_die_rise(state_));
+  }
+  return peak;
+}
+
+}  // namespace renoc

@@ -1,0 +1,81 @@
+// Thermal solvers over an RcNetwork.
+//
+// SteadyStateSolver:  G * T = P          (one LU factorization, many solves)
+// TransientSolver:    C dT/dt = P - G T  via backward Euler,
+//                     (C/dt + G) T_{k+1} = C/dt * T_k + P_{k+1}
+//
+// Backward Euler is unconditionally stable, which matters here: the network
+// couples die nodes with ~1 ms time constants to a convection node with a
+// ~14 s time constant, i.e. the ODE is stiff, and an explicit method at the
+// microsecond steps the migration study needs would be dominated by
+// stability, not accuracy. The step matrix is factored once per dt.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+#include "util/matrix.hpp"
+
+namespace renoc {
+
+/// Direct solver for steady-state temperature rises.
+class SteadyStateSolver {
+ public:
+  explicit SteadyStateSolver(const RcNetwork& net);
+
+  /// Full-node temperature rises for a full-node power vector.
+  std::vector<double> solve(const std::vector<double>& power) const;
+
+  /// Convenience: per-die-block power in, full-node rises out.
+  std::vector<double> solve_die_power(
+      const std::vector<double>& die_power) const;
+
+  /// Peak absolute die temperature (ambient + peak rise) for a die power map.
+  double peak_die_temperature(const std::vector<double>& die_power) const;
+
+  const RcNetwork& network() const { return *net_; }
+
+ private:
+  const RcNetwork* net_;
+  LuFactorization lu_;
+};
+
+/// Fixed-step backward-Euler transient integrator.
+class TransientSolver {
+ public:
+  /// Prefactors (C/dt + G) for time step `dt` (seconds).
+  TransientSolver(const RcNetwork& net, double dt);
+
+  double dt() const { return dt_; }
+
+  /// Sets the current temperature-rise state (full node vector).
+  void set_state(std::vector<double> rise);
+
+  /// Initializes the state to the steady state of `die_power`.
+  void set_state_to_steady(const std::vector<double>& die_power);
+
+  const std::vector<double>& state() const { return state_; }
+
+  /// Advances one step under a full-node power vector.
+  void step(const std::vector<double>& power);
+
+  /// Advances one step under a per-die-block power vector.
+  void step_die_power(const std::vector<double>& die_power);
+
+  /// Advances `steps` steps under constant die power, returning the maximum
+  /// peak die rise observed at step boundaries.
+  double run_die_power(const std::vector<double>& die_power, int steps);
+
+  const RcNetwork& network() const { return *net_; }
+
+ private:
+  const RcNetwork* net_;
+  double dt_;
+  LuFactorization step_lu_;       // LU of (C/dt + G)
+  std::vector<double> c_over_dt_;  // diagonal C/dt
+  std::vector<double> state_;      // temperature rises
+  std::vector<double> rhs_;        // scratch
+};
+
+}  // namespace renoc

@@ -1,0 +1,50 @@
+// Error-checking macros used across ReNoC.
+//
+// RENOC_CHECK is always active (also in release builds): the library is a
+// simulation/measurement tool, so silently continuing past a violated
+// precondition would corrupt results. Violations throw renoc::CheckError
+// so that tests can assert on them and tools can report cleanly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace renoc {
+
+/// Thrown when a RENOC_CHECK precondition or invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RENOC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace renoc
+
+/// Check a condition; throws renoc::CheckError with location info on failure.
+#define RENOC_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::renoc::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Check with an extra streamed message: RENOC_CHECK_MSG(x > 0, "x=" << x).
+#define RENOC_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream renoc_check_os_;                               \
+      renoc_check_os_ << msg;                                           \
+      ::renoc::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                    renoc_check_os_.str());             \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,47 @@
+// Physical-unit conventions used throughout ReNoC.
+//
+// The library standardizes on SI base units internally:
+//   time        seconds        (cycle counts are separate integer types)
+//   length      meters
+//   area        square meters
+//   power       watts
+//   energy      joules
+//   temperature degrees Celsius (thermal RC math is affine, so C vs K only
+//                                matters for the ambient offset)
+//
+// Helper constants below convert from the unit scales the DATE'05 paper and
+// the HotSpot configuration files use.
+#pragma once
+
+#include <cstdint>
+
+namespace renoc {
+
+/// Simulation cycle index (one NoC clock).
+using Cycle = std::uint64_t;
+
+namespace units {
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+
+/// Seconds per microsecond etc., for readable literals.
+inline constexpr double us(double v) { return v * kMicro; }
+inline constexpr double ms(double v) { return v * kMilli; }
+inline constexpr double ns(double v) { return v * kNano; }
+
+/// Meters per millimeter / micrometer.
+inline constexpr double mm(double v) { return v * kMilli; }
+inline constexpr double um(double v) { return v * kMicro; }
+
+/// Square meters per square millimeter.
+inline constexpr double mm2(double v) { return v * kMilli * kMilli; }
+
+/// Joules per picojoule / nanojoule.
+inline constexpr double pJ(double v) { return v * kPico; }
+inline constexpr double nJ(double v) { return v * kNano; }
+
+}  // namespace units
+}  // namespace renoc

@@ -1,0 +1,199 @@
+// Tests for adaptive migration-function selection (the paper's runtime
+// function-switching extension).
+#include <gtest/gtest.h>
+
+#include "core/adaptive_policy.hpp"
+#include "floorplan/floorplan.hpp"
+#include "power/power_map.hpp"
+#include "thermal/hotspot_params.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+constexpr double kPeriod = 109.3e-6;
+
+struct Env {
+  Floorplan fp;
+  RcNetwork net;
+  GridDim dim;
+
+  explicit Env(int side)
+      : fp(make_grid_floorplan(GridDim{side, side}, date05_tile_area())),
+        net(build_rc_network(fp, date05_hotspot_params())),
+        dim{side, side} {}
+
+  /// Steady-state rise vector for a die power map.
+  std::vector<double> steady_state(const std::vector<double>& power) const {
+    SteadyStateSolver solver(net);
+    return solver.solve_die_power(power);
+  }
+};
+
+TEST(AdaptivePolicyTest, CandidateSetIncludesIdentityAndSchemes) {
+  Env env(4);
+  const AdaptivePolicy policy(env.net, env.dim,
+                              AdaptiveObjective::kPredictivePeak, kPeriod);
+  // identity + the five Figure-1 transforms.
+  EXPECT_EQ(policy.candidates().size(), 6u);
+}
+
+TEST(AdaptivePolicyTest, RotationDroppedOnNonSquare) {
+  const Floorplan fp = make_grid_floorplan(GridDim{4, 2}, 4e-6);
+  const RcNetwork net = build_rc_network(fp, date05_hotspot_params());
+  const AdaptivePolicy policy(net, GridDim{4, 2},
+                              AdaptiveObjective::kPredictivePeak, kPeriod);
+  for (const Transform& t : policy.candidates())
+    EXPECT_NE(t.kind, TransformKind::kRotation);
+}
+
+TEST(AdaptivePolicyTest, UniformPowerPrefersNoMove) {
+  // With a perfectly uniform map every transform predicts the same peak;
+  // identity is listed first and wins ties — no pointless migrations.
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kPredictivePeak, kPeriod);
+  const std::vector<double> uniform(16, 3.0);
+  const Transform t = policy.choose(uniform, env.steady_state(uniform));
+  EXPECT_EQ(t.kind, TransformKind::kIdentity);
+}
+
+TEST(AdaptivePolicyTest, PredictiveMovesEdgeHotspot) {
+  // One hot edge tile at its steady state: staying keeps it hot, so the
+  // policy must choose a transform that relocates it.
+  Env env(5);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kPredictivePeak, kPeriod);
+  std::vector<double> power(25, 1.0);
+  const int hot = coord_to_index({1, 2}, env.dim);
+  power[static_cast<std::size_t>(hot)] = 8.0;
+  const std::vector<double> state = env.steady_state(power);
+
+  const Transform t = policy.choose(power, state);
+  EXPECT_NE(t.kind, TransformKind::kIdentity);
+  const auto perm = t.permutation(env.dim);
+  EXPECT_NE(perm[static_cast<std::size_t>(hot)], hot)
+      << "chosen transform must move the hotspot";
+  // And its predicted peak beats staying put.
+  EXPECT_LT(policy.predicted_peak(t, power, state),
+            policy.predicted_peak(Transform{TransformKind::kIdentity, 0},
+                                  power, state));
+}
+
+TEST(AdaptivePolicyTest, PredictiveAvoidsRotationForCenterHotspot) {
+  // A central hotspot on an odd mesh: rotation/mirror leave it in place,
+  // so the predictive policy must pick a translation.
+  Env env(5);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kPredictivePeak, kPeriod);
+  std::vector<double> power(25, 1.0);
+  power[12] = 8.0;  // center
+  const Transform t = policy.choose(power, env.steady_state(power));
+  EXPECT_TRUE(t.kind == TransformKind::kShiftX ||
+              t.kind == TransformKind::kShiftXY)
+      << "got " << to_string(t.kind);
+}
+
+TEST(AdaptivePolicyTest, OrbitAverageNeverPicksIdentityOnImbalance) {
+  // Identity's orbit-average is the static map — the worst possible score
+  // whenever any transform can average the imbalance away.
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kOrbitAverage, kPeriod);
+  std::vector<double> power(16, 1.0);
+  power[coord_to_index({0, 0}, env.dim)] = 6.0;
+  const Transform t = policy.choose(power, env.steady_state(power));
+  EXPECT_NE(t.kind, TransformKind::kIdentity);
+}
+
+TEST(AdaptivePolicyTest, OrbitAverageAvoidsFixedPointSchemesOnCenterHotspot) {
+  // Center hotspot on 5x5: rotation/mirror orbits leave the center's
+  // power untouched, so the orbit-average objective must pick a
+  // translation (the paper's odd-mesh result, discovered at runtime).
+  Env env(5);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kOrbitAverage, kPeriod);
+  std::vector<double> power(25, 1.0);
+  power[12] = 8.0;
+  const Transform t = policy.choose(power, env.steady_state(power));
+  EXPECT_TRUE(t.kind == TransformKind::kShiftX ||
+              t.kind == TransformKind::kShiftXY)
+      << "got " << to_string(t.kind);
+}
+
+TEST(AdaptivePolicyTest, OrbitAverageIsStableAcrossOrbitSteps) {
+  // Once a transform is chosen, re-evaluating from any placement along
+  // its orbit must keep choosing the same transform (the policy behaves
+  // like the fixed scheme it selected).
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kOrbitAverage, kPeriod);
+  std::vector<double> base(16, 1.0);
+  for (int x = 0; x < 4; ++x)
+    base[static_cast<std::size_t>(coord_to_index({x, 0}, env.dim))] = 4.0;
+  const auto state = env.steady_state(base);
+  const Transform first = policy.choose(base, state);
+  ASSERT_NE(first.kind, TransformKind::kIdentity);
+  std::vector<int> acc = identity_permutation(16);
+  for (int step = 0; step < 4; ++step) {
+    acc = compose_permutations(acc, first.permutation(env.dim));
+    const auto power = apply_permutation(base, acc);
+    const Transform again = policy.choose(power, env.steady_state(power));
+    EXPECT_EQ(again.kind, first.kind) << "at orbit step " << step;
+  }
+}
+
+TEST(AdaptivePolicyTest, SensorObjectiveSendsPowerToColdTiles) {
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kCoolestHistory, kPeriod);
+  // Hot top row in both power and temperature; the policy should flip or
+  // rotate the workload toward the cold bottom.
+  std::vector<double> power(16, 1.0);
+  for (int x = 0; x < 4; ++x)
+    power[static_cast<std::size_t>(coord_to_index({x, 3}, env.dim))] = 5.0;
+  const std::vector<double> state = env.steady_state(power);
+
+  const Transform t = policy.choose(power, state);
+  const auto moved = apply_permutation(power, t.permutation(env.dim));
+  double before = 0.0, after = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    before += power[static_cast<std::size_t>(i)] *
+              state[static_cast<std::size_t>(i)];
+    after += moved[static_cast<std::size_t>(i)] *
+             state[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(AdaptivePolicyTest, CustomCandidates) {
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kPredictivePeak, kPeriod);
+  policy.set_candidates({Transform{TransformKind::kMirrorY, 0}});
+  std::vector<double> power(16, 1.0);
+  power[0] = 4.0;
+  EXPECT_EQ(policy.choose(power, env.steady_state(power)).kind,
+            TransformKind::kMirrorY);
+  EXPECT_THROW(policy.set_candidates({}), CheckError);
+}
+
+TEST(AdaptivePolicyTest, InputValidation) {
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim,
+                        AdaptiveObjective::kPredictivePeak, kPeriod);
+  const std::vector<double> power(16, 1.0);
+  EXPECT_THROW(policy.choose(std::vector<double>(9, 1.0),
+                             env.steady_state(power)),
+               CheckError);
+  EXPECT_THROW(policy.choose(power, std::vector<double>(5, 0.0)),
+               CheckError);
+  EXPECT_THROW(AdaptivePolicy(env.net, env.dim,
+                              AdaptiveObjective::kPredictivePeak, -1.0),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace renoc

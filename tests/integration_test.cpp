@@ -1,0 +1,189 @@
+// Cross-module integration properties that tie the whole pipeline
+// together: activity/energy conservation from the NoC counters through
+// the power model, superposition of the thermal solution under power-map
+// permutation, and end-to-end invariants of the experiment driver that
+// individual module tests cannot see.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/chip_config.hpp"
+#include "floorplan/floorplan.hpp"
+#include "core/experiment.hpp"
+#include "core/migration_controller.hpp"
+#include "core/transform.hpp"
+#include "ldpc/decoder.hpp"
+#include "ldpc/noc_decoder.hpp"
+#include "noc/fabric.hpp"
+#include "power/energy_model.hpp"
+#include "power/power_map.hpp"
+#include "thermal/solver.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+ChipConfig tiny_config() {
+  ChipConfig cfg = config_A();
+  cfg.workload.code_n = 510;
+  cfg.ldpc_params.iterations = 4;
+  cfg.placer.iterations = 3000;
+  return cfg;
+}
+
+TEST(IntegrationTest, DecodeActivityIsPlacementInvariantInTotal) {
+  // Moving the workload must not change *total* compute activity — only
+  // where it lands; network activity may differ (routes change).
+  const BuiltChip chip = build_chip(tiny_config());
+  LdpcNocParams params = tiny_config().ldpc_params;
+
+  auto total_ops = [&](const std::vector<int>& placement) {
+    Fabric fabric(tiny_config().noc);
+    NocLdpcDecoder decoder(fabric, chip.code, chip.partition, placement,
+                           params);
+    decoder.decode_block(chip.channel_llrs);
+    std::uint64_t ops = 0;
+    for (int t = 0; t < fabric.node_count(); ++t)
+      ops += fabric.stats().tile(t).pe_compute_ops;
+    return ops;
+  };
+
+  const auto id = identity_permutation(16);
+  const auto rotated =
+      transform_of(MigrationScheme::kRotation).permutation(GridDim{4, 4});
+  EXPECT_EQ(total_ops(id), total_ops(rotated));
+}
+
+TEST(IntegrationTest, PowerMapPermutationCommutesWithMeasurement) {
+  // Measuring at a rotated placement produces (approximately) the rotated
+  // compute-power map: compute ops relocate exactly; only router/link
+  // terms differ. Check the per-tile compute-op counters relocate
+  // exactly under the permutation.
+  const BuiltChip chip = build_chip(tiny_config());
+  const LdpcNocParams params = tiny_config().ldpc_params;
+  const auto perm =
+      transform_of(MigrationScheme::kShiftXY).permutation(GridDim{4, 4});
+
+  Fabric f1(tiny_config().noc);
+  NocLdpcDecoder d1(f1, chip.code, chip.partition,
+                    identity_permutation(16), params);
+  d1.decode_block(chip.channel_llrs);
+
+  std::vector<int> placement(16);
+  for (int c = 0; c < 16; ++c)
+    placement[static_cast<std::size_t>(c)] =
+        perm[static_cast<std::size_t>(c)];
+  Fabric f2(tiny_config().noc);
+  NocLdpcDecoder d2(f2, chip.code, chip.partition, placement, params);
+  d2.decode_block(chip.channel_llrs);
+
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_EQ(f1.stats().tile(t).pe_compute_ops,
+              f2.stats()
+                  .tile(perm[static_cast<std::size_t>(t)])
+                  .pe_compute_ops)
+        << "compute ops must relocate with the workload (tile " << t << ")";
+  }
+}
+
+TEST(IntegrationTest, ThermalPeakInvariantUnderSymmetricPermutation) {
+  // The thermal network of a square grid has the full dihedral symmetry,
+  // so rotating a power map rotates the temperature field: peaks match.
+  const Floorplan fp = make_grid_floorplan(GridDim{4, 4}, date05_tile_area());
+  const RcNetwork net = build_rc_network(fp, date05_hotspot_params());
+  SteadyStateSolver solver(net);
+  Rng rng(5);
+  std::vector<double> power(16);
+  for (auto& p : power) p = 1.0 + 5.0 * rng.next_double();
+
+  const double base_peak = solver.peak_die_temperature(power);
+  for (MigrationScheme s : figure1_schemes()) {
+    if (s == MigrationScheme::kShiftRight || s == MigrationScheme::kShiftXY)
+      continue;  // translations wrap around: not a geometric symmetry
+    const auto moved = apply_permutation(
+        power, transform_of(s).permutation(GridDim{4, 4}));
+    EXPECT_NEAR(solver.peak_die_temperature(moved), base_peak, 1e-6)
+        << to_string(s);
+  }
+}
+
+TEST(IntegrationTest, MigrationEnergyShowsUpInPowerModel) {
+  // A migration on an otherwise idle fabric must produce nonzero dynamic
+  // energy at exactly the tiles that sourced, routed, or received state.
+  NocConfig noc;
+  noc.dim = GridDim{4, 4};
+  Fabric fabric(noc);
+  MigrationController controller(
+      fabric, transform_of(MigrationScheme::kShiftRight));
+  std::vector<int> placement = identity_permutation(16);
+  controller.migrate(placement, std::vector<int>(16, 20));
+
+  const EnergyModel energy{EnergyParams{}};
+  double total = 0.0;
+  for (int t = 0; t < 16; ++t)
+    total += energy.tile_dynamic_energy(fabric.stats().tile(t));
+  EXPECT_GT(total, 0.0);
+  // Right shift moves along rows; with one flit-hop per move plus the
+  // wraparound, every tile participates — all tiles show activity.
+  for (int t = 0; t < 16; ++t)
+    EXPECT_GT(energy.tile_dynamic_energy(fabric.stats().tile(t)), 0.0)
+        << "tile " << t;
+}
+
+TEST(IntegrationTest, CalibrationIsExactlyLinear) {
+  // Scaling the calibrated power map by s scales the rise by s: the
+  // calibration search in the driver relies on strict linearity.
+  const Floorplan fp = make_grid_floorplan(GridDim{5, 5}, date05_tile_area());
+  const RcNetwork net = build_rc_network(fp, date05_hotspot_params());
+  SteadyStateSolver solver(net);
+  Rng rng(17);
+  std::vector<double> power(25);
+  for (auto& p : power) p = rng.next_double() * 4.0;
+  const double rise1 = solver.peak_die_temperature(power) - net.ambient();
+  scale_map(power, 3.5);
+  const double rise2 = solver.peak_die_temperature(power) - net.ambient();
+  EXPECT_NEAR(rise2, 3.5 * rise1, 1e-9);
+}
+
+TEST(IntegrationTest, GoldenAndNocDecodersAgreeAfterMigrationRoundTrip) {
+  // Decode, migrate through a full rotation orbit (4 migrations), decode
+  // again: both decodes bit-identical to golden, placement home again.
+  const ChipConfig cfg = tiny_config();
+  const BuiltChip chip = build_chip(cfg);
+  const MinSumDecoder golden(chip.code, cfg.ldpc_params.iterations);
+  const DecodeResult gold = golden.decode(chip.channel_llrs);
+
+  Fabric fabric(cfg.noc);
+  NocLdpcDecoder decoder(fabric, chip.code, chip.partition,
+                         identity_permutation(16), cfg.ldpc_params);
+  MigrationController controller(fabric,
+                                 transform_of(MigrationScheme::kRotation));
+  std::vector<int> placement = identity_permutation(16);
+  std::vector<int> words(16);
+  for (int c = 0; c < 16; ++c)
+    words[static_cast<std::size_t>(c)] = decoder.migration_state_words(c);
+
+  EXPECT_EQ(decoder.decode_block(chip.channel_llrs).hard_bits,
+            gold.hard_bits);
+  for (int k = 0; k < 4; ++k) {
+    controller.migrate(placement, words);
+    decoder.set_placement(placement);
+    EXPECT_EQ(decoder.decode_block(chip.channel_llrs).hard_bits,
+              gold.hard_bits)
+        << "after migration " << k + 1;
+  }
+  EXPECT_EQ(placement, identity_permutation(16));
+}
+
+TEST(IntegrationTest, DefaultPeriodSnapsToWholeBlocks) {
+  ExperimentDriver driver(tiny_config());
+  driver.prepare(1);
+  const double period = driver.default_period_s();
+  const double blocks = period / driver.block_seconds();
+  EXPECT_NEAR(blocks, std::round(blocks), 1e-9);
+  EXPECT_GE(blocks, 1.0);
+}
+
+}  // namespace
+}  // namespace renoc

@@ -1,0 +1,225 @@
+// Tests for the thermally-aware simulated-annealing placer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/transform.hpp"
+#include "floorplan/floorplan.hpp"
+#include "mapping/placer.hpp"
+#include "thermal/hotspot_params.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+struct Env {
+  Floorplan fp;
+  RcNetwork net;
+  SteadyStateSolver solver;
+  GridDim dim;
+
+  explicit Env(int side)
+      : fp(make_grid_floorplan(GridDim{side, side}, date05_tile_area())),
+        net(build_rc_network(fp, date05_hotspot_params())),
+        solver(net),
+        dim{side, side} {}
+};
+
+std::vector<std::vector<std::uint64_t>> no_traffic(int k) {
+  return std::vector<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(k),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(k), 0));
+}
+
+TEST(PlacerTest, PlacementIsInjective) {
+  Env env(4);
+  PlacerOptions opt;
+  opt.iterations = 3000;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(16, 1.0);
+  power[0] = 6.0;
+  power[1] = 6.0;
+  const PlacementResult res = placer.place(power, no_traffic(16));
+  std::set<int> tiles(res.placement.begin(), res.placement.end());
+  EXPECT_EQ(tiles.size(), res.placement.size());
+  for (int t : res.placement) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 16);
+  }
+}
+
+TEST(PlacerTest, SeparatesTwoHotClusters) {
+  // Two hot clusters placed adjacently at identity must end up apart.
+  Env env(4);
+  PlacerOptions opt;
+  opt.iterations = 8000;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(16, 0.5);
+  power[0] = 8.0;
+  power[1] = 8.0;
+  const PlacementResult res = placer.place(power, no_traffic(16));
+  const GridCoord a = index_to_coord(res.placement[0], env.dim);
+  const GridCoord b = index_to_coord(res.placement[1], env.dim);
+  EXPECT_GE(manhattan(a, b), 2);
+  // And the peak temperature beats the identity placement.
+  const double identity_peak = placer.peak_temperature_of(
+      identity_permutation(16), power);
+  EXPECT_LT(res.peak_temperature, identity_peak);
+}
+
+TEST(PlacerTest, NeverWorseThanIdentityStart) {
+  // SA keeps the best-seen placement, so the result cannot be worse than
+  // the identity it starts from.
+  Env env(5);
+  PlacerOptions opt;
+  opt.iterations = 2000;
+  opt.seed = 7;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  Rng rng(3);
+  std::vector<double> power(25);
+  for (auto& p : power) p = 0.5 + 4.0 * rng.next_double();
+  const double identity_cost =
+      placer.cost_of(identity_permutation(25), power, no_traffic(25));
+  const PlacementResult res = placer.place(power, no_traffic(25));
+  EXPECT_LE(res.cost, identity_cost + 1e-9);
+}
+
+TEST(PlacerTest, DeterministicForSeed) {
+  Env env(4);
+  PlacerOptions opt;
+  opt.iterations = 2000;
+  opt.seed = 42;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(16, 1.0);
+  power[5] = 9.0;
+  const auto a = placer.place(power, no_traffic(16));
+  const auto b = placer.place(power, no_traffic(16));
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(PlacerTest, CommWeightPullsChattyClustersTogether) {
+  Env env(4);
+  PlacerOptions opt;
+  opt.iterations = 12000;
+  opt.comm_weight = 0.05;  // strong communication pressure
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  // Uniform power so only traffic matters.
+  std::vector<double> power(16, 1.0);
+  auto traffic = no_traffic(16);
+  traffic[2][11] = traffic[11][2] = 10000;
+  const PlacementResult res = placer.place(power, traffic);
+  const GridCoord a = index_to_coord(res.placement[2], env.dim);
+  const GridCoord b = index_to_coord(res.placement[11], env.dim);
+  EXPECT_EQ(manhattan(a, b), 1);
+}
+
+TEST(PlacerTest, HotClusterMovesOffCenterWithoutTraffic) {
+  // With a single dominant cluster and no communication, the thermally
+  // best home is away from the die center (corners couple to cooler
+  // neighbors... actually corners have fewer hot neighbours and more
+  // boundary; verify the placer strictly improves peak temperature and
+  // does not leave the hot cluster at the center).
+  Env env(5);
+  PlacerOptions opt;
+  opt.iterations = 10000;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(25, 1.2);
+  power[12] = 10.0;  // start at the center tile
+  const PlacementResult res = placer.place(power, no_traffic(25));
+  EXPECT_NE(res.placement[12], 12);
+}
+
+TEST(PlacerTest, ZeroIterationsReturnsIdentity) {
+  Env env(4);
+  PlacerOptions opt;
+  opt.iterations = 0;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(16, 1.0);
+  const PlacementResult res = placer.place(power, no_traffic(16));
+  EXPECT_EQ(res.placement, identity_permutation(16));
+}
+
+TEST(PlacerTest, FewerClustersThanTiles) {
+  Env env(4);
+  PlacerOptions opt;
+  opt.iterations = 3000;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(10, 2.0);
+  power[0] = 7.0;
+  const PlacementResult res = placer.place(power, no_traffic(10));
+  EXPECT_EQ(res.placement.size(), 10u);
+  std::set<int> tiles(res.placement.begin(), res.placement.end());
+  EXPECT_EQ(tiles.size(), 10u);
+}
+
+TEST(PlacerTest, BeatsRandomSearchBaseline) {
+  // SA must at least match the best of an equal-budget random search —
+  // the standard sanity bar for any annealer.
+  Env env(4);
+  Rng rng(71);
+  std::vector<double> power(16);
+  for (auto& p : power) p = 0.5 + 5.0 * rng.next_double();
+
+  PlacerOptions opt;
+  opt.iterations = 4000;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  const PlacementResult sa = placer.place(power, no_traffic(16));
+
+  double best_random = 1e300;
+  std::vector<int> perm(16);
+  for (int i = 0; i < 16; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int trial = 0; trial < 4000; ++trial) {
+    for (int i = 15; i > 0; --i) {
+      const int j = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    best_random = std::min(
+        best_random, placer.peak_temperature_of(perm, power));
+  }
+  EXPECT_LE(sa.peak_temperature, best_random + 0.05);
+}
+
+TEST(PlacerTest, PinsRespectedUnderPressure) {
+  // Pin the hottest cluster to the center — the worst thermal spot — and
+  // verify the annealer still leaves it there.
+  Env env(5);
+  PlacerOptions opt;
+  opt.iterations = 5000;
+  ThermalAwarePlacer placer(env.solver, env.dim, opt);
+  std::vector<double> power(25, 1.0);
+  power[3] = 9.0;
+  const int center = coord_to_index({2, 2}, env.dim);
+  const PlacementResult res =
+      placer.place(power, no_traffic(25), {{3, center}});
+  EXPECT_EQ(res.placement[3], center);
+  // Everyone else still occupies distinct tiles.
+  std::set<int> tiles(res.placement.begin(), res.placement.end());
+  EXPECT_EQ(tiles.size(), res.placement.size());
+}
+
+TEST(PlacerTest, ConflictingPinsRejected) {
+  Env env(4);
+  ThermalAwarePlacer placer(env.solver, env.dim, PlacerOptions{});
+  std::vector<double> power(16, 1.0);
+  EXPECT_THROW(placer.place(power, no_traffic(16), {{0, 3}, {1, 3}}),
+               CheckError);
+  EXPECT_THROW(placer.place(power, no_traffic(16), {{0, 3}, {0, 5}}),
+               CheckError);
+  EXPECT_THROW(placer.place(power, no_traffic(16), {{0, 99}}), CheckError);
+}
+
+TEST(PlacerTest, MismatchedInputsRejected) {
+  Env env(4);
+  ThermalAwarePlacer placer(env.solver, env.dim, PlacerOptions{});
+  std::vector<double> power(20, 1.0);  // more clusters than tiles
+  EXPECT_THROW(placer.place(power, no_traffic(20)), CheckError);
+}
+
+}  // namespace
+}  // namespace renoc

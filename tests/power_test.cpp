@@ -1,0 +1,238 @@
+// Tests for the power module: event-energy accounting, power maps,
+// permutation algebra on maps, and the temperature-dependent leakage
+// fixed point.
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.hpp"
+#include "noc/fabric.hpp"
+#include "power/energy_model.hpp"
+#include "power/leakage_loop.hpp"
+#include "power/power_map.hpp"
+#include "thermal/hotspot_params.hpp"
+#include "thermal/rc_network.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+TEST(EnergyModelTest, TileEnergyIsLinearInCounters) {
+  EnergyParams p;
+  const EnergyModel model(p);
+  TileActivity a;
+  a.buffer_writes = 10;
+  a.crossbar_traversals = 4;
+  a.pe_compute_ops = 100;
+  const double e1 = model.tile_dynamic_energy(a);
+  TileActivity b = a;
+  b.buffer_writes *= 2;
+  b.crossbar_traversals *= 2;
+  b.pe_compute_ops *= 2;
+  EXPECT_NEAR(model.tile_dynamic_energy(b), 2 * e1, 1e-18);
+}
+
+TEST(EnergyModelTest, EnergyMatchesHandComputation) {
+  EnergyParams p;
+  p.e_buffer_write = 1e-12;
+  p.e_buffer_read = 2e-12;
+  p.e_crossbar = 3e-12;
+  p.e_arbitration = 4e-12;
+  p.e_link = 5e-12;
+  p.e_pe_op = 6e-12;
+  p.e_state_word = 7e-12;
+  const EnergyModel model(p);
+  TileActivity a;
+  a.buffer_writes = 1;
+  a.buffer_reads = 1;
+  a.crossbar_traversals = 1;
+  a.arbitrations = 1;
+  a.link_flits = 1;
+  a.pe_compute_ops = 1;
+  a.pe_state_words = 1;
+  EXPECT_NEAR(model.tile_dynamic_energy(a), 28e-12, 1e-20);
+}
+
+TEST(EnergyModelTest, PowerMapDividesByWindowAndAddsLeakage) {
+  EnergyParams p;
+  p.p_leak_tile = 0.5;
+  const EnergyModel model(p);
+  NetworkStats stats(4);
+  stats.tile(2).pe_compute_ops = 1000;
+  const double window = 1e-6;
+  const auto map = model.power_map(stats, window);
+  EXPECT_EQ(map.size(), 4u);
+  EXPECT_NEAR(map[0], 0.5, 1e-12);  // leakage only
+  EXPECT_NEAR(map[2], 0.5 + 1000 * p.e_pe_op / window, 1e-9);
+  // Scale applies to everything.
+  const auto scaled = model.power_map(stats, window, 3.0);
+  EXPECT_NEAR(scaled[2], 3.0 * map[2], 1e-9);
+  // Dynamic-only map has no leakage.
+  const auto dyn = model.dynamic_power_map(stats, window);
+  EXPECT_NEAR(dyn[0], 0.0, 1e-15);
+}
+
+TEST(EnergyModelTest, LeakageTemperatureDependence) {
+  EnergyParams p;
+  p.p_leak_tile = 0.1;
+  p.leak_beta = 0.02;
+  p.t_ref = 40.0;
+  const EnergyModel model(p);
+  EXPECT_NEAR(model.tile_leakage_power(40.0), 0.1, 1e-12);
+  EXPECT_GT(model.tile_leakage_power(80.0), 0.2);  // e^{0.8} = 2.2x
+  // Monotone in temperature.
+  double prev = 0.0;
+  for (double t = 20; t <= 120; t += 10) {
+    const double leak = model.tile_leakage_power(t);
+    EXPECT_GT(leak, prev);
+    prev = leak;
+  }
+  // Disabled dependence returns the constant.
+  p.leak_beta = 0.0;
+  const EnergyModel flat(p);
+  EXPECT_EQ(flat.tile_leakage_power(40.0), flat.tile_leakage_power(100.0));
+}
+
+TEST(EnergyModelTest, InvalidParamsRejected) {
+  EnergyParams p;
+  p.e_link = -1.0;
+  EXPECT_THROW(EnergyModel{p}, CheckError);
+}
+
+TEST(PowerMapTest, PermutationMovesPower) {
+  const std::vector<double> power{1.0, 2.0, 3.0, 4.0};
+  const std::vector<int> perm{1, 0, 3, 2};
+  const auto moved = apply_permutation(power, perm);
+  EXPECT_EQ(moved, (std::vector<double>{2.0, 1.0, 4.0, 3.0}));
+  EXPECT_NEAR(total_power(moved), total_power(power), 1e-12);
+}
+
+TEST(PowerMapTest, BadPermutationsRejected) {
+  const std::vector<double> power{1.0, 2.0};
+  EXPECT_THROW(apply_permutation(power, {0, 0}), CheckError);
+  EXPECT_THROW(apply_permutation(power, {0, 2}), CheckError);
+  EXPECT_THROW(apply_permutation(power, {0}), CheckError);
+}
+
+TEST(PowerMapTest, AverageAndArithmetic) {
+  const std::vector<std::vector<double>> maps{{2.0, 0.0}, {0.0, 4.0}};
+  EXPECT_EQ(average_maps(maps), (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(max_power({1.0, 5.0, 2.0}), 5.0);
+  std::vector<double> m{1.0, 2.0};
+  scale_map(m, 2.0);
+  EXPECT_EQ(m, (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(add_maps({1.0, 2.0}, {3.0, 4.0}),
+            (std::vector<double>{4.0, 6.0}));
+  EXPECT_THROW(average_maps({}), CheckError);
+  EXPECT_THROW(add_maps({1.0}, {1.0, 2.0}), CheckError);
+}
+
+// --- Temperature-dependent leakage fixed point -------------------------
+
+struct LeakEnv {
+  Floorplan fp;
+  RcNetwork net;
+  SteadyStateSolver solver;
+
+  LeakEnv()
+      : fp(make_grid_floorplan(GridDim{4, 4}, date05_tile_area())),
+        net(build_rc_network(fp, date05_hotspot_params())),
+        solver(net) {}
+};
+
+TEST(LeakageLoopTest, ZeroBetaMatchesLinearSolve) {
+  LeakEnv env;
+  EnergyParams p;
+  p.p_leak_tile = 0.2;
+  p.leak_beta = 0.0;
+  const EnergyModel energy(p);
+  std::vector<double> dyn(16, 2.0);
+  dyn[5] = 6.0;
+
+  const LeakageLoopResult r =
+      solve_leakage_fixed_point(env.solver, energy, dyn);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);  // one solve to land, one to confirm
+
+  std::vector<double> with_leak = dyn;
+  for (auto& v : with_leak) v += 0.2;
+  EXPECT_NEAR(r.peak_temp_c, env.solver.peak_die_temperature(with_leak),
+              1e-3);
+}
+
+TEST(LeakageLoopTest, PositiveBetaRaisesTemperature) {
+  LeakEnv env;
+  EnergyParams flat;
+  flat.p_leak_tile = 0.4;
+  EnergyParams feedback = flat;
+  feedback.leak_beta = 0.015;
+  std::vector<double> dyn(16, 2.5);
+
+  const LeakageLoopResult base =
+      solve_leakage_fixed_point(env.solver, EnergyModel(flat), dyn);
+  const LeakageLoopResult fb =
+      solve_leakage_fixed_point(env.solver, EnergyModel(feedback), dyn);
+  EXPECT_TRUE(base.converged);
+  EXPECT_TRUE(fb.converged);
+  EXPECT_GT(fb.peak_temp_c, base.peak_temp_c);
+  EXPECT_GT(fb.iterations, base.iterations);
+  // Total power includes the amplified leakage.
+  EXPECT_GT(total_power(fb.total_power), total_power(base.total_power));
+}
+
+TEST(LeakageLoopTest, ConvergedStateIsAFixedPoint) {
+  LeakEnv env;
+  EnergyParams p;
+  p.p_leak_tile = 0.3;
+  p.leak_beta = 0.01;
+  const EnergyModel energy(p);
+  std::vector<double> dyn(16, 3.0);
+  dyn[0] = 7.0;
+  const LeakageLoopResult r =
+      solve_leakage_fixed_point(env.solver, energy, dyn, 1e-6);
+  ASSERT_TRUE(r.converged);
+  // Re-evaluate once by hand: temperatures implied by total_power must
+  // reproduce die_temps.
+  const auto rise = env.solver.solve_die_power(r.total_power);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_NEAR(env.net.ambient() + rise[static_cast<std::size_t>(i)],
+                r.die_temps[static_cast<std::size_t>(i)], 1e-4);
+}
+
+TEST(LeakageLoopTest, ThermalRunawayDetected) {
+  LeakEnv env;
+  EnergyParams p;
+  p.p_leak_tile = 5.0;    // enormous leakage
+  p.leak_beta = 0.15;     // explosive feedback
+  const EnergyModel energy(p);
+  const std::vector<double> dyn(16, 10.0);
+  const LeakageLoopResult r =
+      solve_leakage_fixed_point(env.solver, energy, dyn, 1e-4, 60);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(LeakageLoopTest, InputValidation) {
+  LeakEnv env;
+  const EnergyModel energy{EnergyParams{}};
+  EXPECT_THROW(solve_leakage_fixed_point(env.solver, energy,
+                                         std::vector<double>(3, 1.0)),
+               CheckError);
+  EXPECT_THROW(solve_leakage_fixed_point(env.solver, energy,
+                                         std::vector<double>(16, 1.0), -1.0),
+               CheckError);
+}
+
+TEST(NetworkStatsTest, TotalsAndClear) {
+  NetworkStats stats(3);
+  stats.tile(0).link_flits = 5;
+  stats.tile(2).link_flits = 7;
+  stats.note_packet_delivered(4, 20);
+  EXPECT_EQ(stats.total().link_flits, 12u);
+  EXPECT_EQ(stats.packets_delivered(), 1u);
+  EXPECT_EQ(stats.flits_delivered(), 4u);
+  EXPECT_DOUBLE_EQ(stats.packet_latency().mean(), 20.0);
+  stats.clear();
+  EXPECT_EQ(stats.total().link_flits, 0u);
+  EXPECT_EQ(stats.packets_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace renoc

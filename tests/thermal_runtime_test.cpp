@@ -1,0 +1,199 @@
+// Tests for the migration thermal co-simulation: consistency with steady
+// state, orbit-average behaviour, ripple magnitude, and migration-energy
+// accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thermal_runtime.hpp"
+#include "core/transform.hpp"
+#include "floorplan/floorplan.hpp"
+#include "power/power_map.hpp"
+#include "thermal/hotspot_params.hpp"
+#include "thermal/solver.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+RcNetwork make_net(int side) {
+  return build_rc_network(
+      make_grid_floorplan(GridDim{side, side}, date05_tile_area()),
+      date05_hotspot_params());
+}
+
+std::vector<double> hot_corner_map(int side, double hot, double cool) {
+  std::vector<double> p(static_cast<std::size_t>(side * side), cool);
+  p[0] = hot;  // tile (0,0)
+  return p;
+}
+
+TEST(ThermalRuntimeTest, StaticCaseEqualsSteadyState) {
+  const RcNetwork net = make_net(4);
+  SteadyStateSolver steady(net);
+  const auto power = hot_corner_map(4, 9.0, 1.0);
+  MigrationThermalRuntime runtime(net, ThermalRunOptions{});
+  const ThermalRunResult r =
+      runtime.run(power, {identity_permutation(16)}, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.peak_temp_c, steady.peak_die_temperature(power), 1e-9);
+  EXPECT_DOUBLE_EQ(r.ripple_c, 0.0);
+}
+
+TEST(ThermalRuntimeTest, MigrationReducesPeakForCornerHotspot) {
+  // A rotating corner hotspot time-shares four corners; the peak must drop
+  // substantially versus static, and approach the steady state of the
+  // orbit-averaged map from above.
+  const RcNetwork net = make_net(4);
+  SteadyStateSolver steady(net);
+  const auto power = hot_corner_map(4, 9.0, 1.0);
+  const double static_peak = steady.peak_die_temperature(power);
+
+  const auto orbit =
+      orbit_permutations(Transform{TransformKind::kRotation, 0}, GridDim{4, 4});
+  MigrationThermalRuntime runtime(net, ThermalRunOptions{});
+  const ThermalRunResult r = runtime.run(power, orbit, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.peak_temp_c, static_peak - 1.0);
+  EXPECT_GE(r.peak_temp_c, r.steady_peak_of_avg_c - 1e-6);
+  // The ripple at a 109 us period is small but nonzero.
+  EXPECT_GT(r.ripple_c, 0.0);
+  EXPECT_LT(r.ripple_c, 2.0);
+}
+
+TEST(ThermalRuntimeTest, ShorterPeriodsTrackAverageMoreTightly) {
+  const RcNetwork net = make_net(4);
+  const auto power = hot_corner_map(4, 8.0, 1.0);
+  const auto orbit =
+      orbit_permutations(Transform{TransformKind::kRotation, 0}, GridDim{4, 4});
+  auto peak_at = [&](double period) {
+    ThermalRunOptions opt;
+    opt.period_s = period;
+    opt.dt_s = period / 50;
+    MigrationThermalRuntime runtime(net, opt);
+    return runtime.run(power, orbit, {});
+  };
+  const ThermalRunResult fast = peak_at(109.3e-6);
+  const ThermalRunResult slow = peak_at(874.4e-6);
+  // Longer periods let the hotspot develop further between migrations.
+  EXPECT_GE(slow.peak_temp_c, fast.peak_temp_c - 1e-6);
+  EXPECT_GT(slow.ripple_c, fast.ripple_c);
+  // The gap stays bounded (this synthetic hotspot is far more extreme
+  // than the calibrated configurations, where the paper-scale sub-0.1 C
+  // behaviour is checked by the period-sweep bench).
+  EXPECT_LT(slow.peak_temp_c - fast.peak_temp_c, 3.0);
+}
+
+TEST(ThermalRuntimeTest, MigrationEnergyRaisesTemperature) {
+  const RcNetwork net = make_net(4);
+  const auto power = hot_corner_map(4, 6.0, 1.0);
+  const auto orbit =
+      orbit_permutations(Transform{TransformKind::kRotation, 0}, GridDim{4, 4});
+  MigrationThermalRuntime runtime(net, ThermalRunOptions{});
+
+  const ThermalRunResult free_run = runtime.run(power, orbit, {});
+  // 200 uJ deposited per migration, uniformly.
+  std::vector<std::vector<double>> energy(
+      orbit.size(), std::vector<double>(16, 200e-6 / 16));
+  const ThermalRunResult priced = runtime.run(power, orbit, energy);
+  EXPECT_GT(priced.peak_temp_c, free_run.peak_temp_c);
+  EXPECT_GT(priced.mean_temp_c, free_run.mean_temp_c);
+  // Sanity: the mean rise roughly matches energy/period spread over the
+  // whole chip through the package resistance (order of magnitude only).
+  const double extra_w = 200e-6 / ThermalRunOptions{}.period_s;
+  EXPECT_LT(priced.mean_temp_c - free_run.mean_temp_c, extra_w * 2.0);
+}
+
+TEST(ThermalRuntimeTest, RightShiftCannotFixRowImbalance) {
+  // One hot row: right-shift's orbit-average equals the original map
+  // row-wise, so the peak barely moves; XY-shift spreads across rows.
+  const RcNetwork net = make_net(4);
+  SteadyStateSolver steady(net);
+  std::vector<double> power(16, 1.0);
+  for (int x = 0; x < 4; ++x)
+    power[static_cast<std::size_t>(coord_to_index({x, 0}, GridDim{4, 4}))] =
+        5.0;
+  const double static_peak = steady.peak_die_temperature(power);
+
+  MigrationThermalRuntime runtime(net, ThermalRunOptions{});
+  const auto shift_x =
+      orbit_permutations(Transform{TransformKind::kShiftX, 1}, GridDim{4, 4});
+  const auto shift_xy =
+      orbit_permutations(Transform{TransformKind::kShiftXY, 1}, GridDim{4, 4});
+  const ThermalRunResult rx = runtime.run(power, shift_x, {});
+  const ThermalRunResult rxy = runtime.run(power, shift_xy, {});
+
+  const double dx = static_peak - rx.peak_temp_c;
+  const double dxy = static_peak - rxy.peak_temp_c;
+  EXPECT_LT(dx, 0.6);        // uniform hot row: nothing to gain in-row
+  EXPECT_GT(dxy, 2.0 * dx);  // spreading across rows wins
+}
+
+TEST(ThermalRuntimeTest, CenterHotspotImmuneToRotation) {
+  // The paper's configuration-E mechanism on a 5x5: rotation fixes the
+  // center, so a central hotspot sees no benefit — and with migration
+  // energy the peak goes *above* static.
+  const RcNetwork net = make_net(5);
+  SteadyStateSolver steady(net);
+  std::vector<double> power(25, 1.0);
+  power[12] = 7.0;  // center
+  const double static_peak = steady.peak_die_temperature(power);
+
+  MigrationThermalRuntime runtime(net, ThermalRunOptions{});
+  const auto rot =
+      orbit_permutations(Transform{TransformKind::kRotation, 0}, GridDim{5, 5});
+  const ThermalRunResult free_run = runtime.run(power, rot, {});
+  EXPECT_NEAR(free_run.peak_temp_c, static_peak, 0.2);
+
+  std::vector<std::vector<double>> energy(
+      rot.size(), std::vector<double>(25, 400e-6 / 25));
+  const ThermalRunResult priced = runtime.run(power, rot, energy);
+  EXPECT_GT(priced.peak_temp_c, static_peak);
+
+  // XY shift moves the center hotspot and wins despite equal energy.
+  const auto sxy =
+      orbit_permutations(Transform{TransformKind::kShiftXY, 1}, GridDim{5, 5});
+  std::vector<std::vector<double>> energy_xy(
+      sxy.size(), std::vector<double>(25, 400e-6 / 25));
+  const ThermalRunResult shifted = runtime.run(power, sxy, energy_xy);
+  EXPECT_LT(shifted.peak_temp_c, static_peak - 1.0);
+}
+
+TEST(ThermalRuntimeTest, InputValidation) {
+  const RcNetwork net = make_net(4);
+  MigrationThermalRuntime runtime(net, ThermalRunOptions{});
+  const auto orbit =
+      orbit_permutations(Transform{TransformKind::kMirrorX, 0}, GridDim{4, 4});
+  // Wrong power size.
+  EXPECT_THROW(runtime.run(std::vector<double>(9, 1.0), orbit, {}),
+               CheckError);
+  // Wrong number of energy maps.
+  EXPECT_THROW(runtime.run(std::vector<double>(16, 1.0), orbit,
+                           {std::vector<double>(16, 0.0)}),
+               CheckError);
+  // Bad options.
+  ThermalRunOptions bad;
+  bad.period_s = -1;
+  EXPECT_THROW(MigrationThermalRuntime(net, bad), CheckError);
+}
+
+TEST(ThermalRuntimeTest, OrbitAveragePowerConservedAcrossSchemes) {
+  // Permutations only move power around: every scheme's orbit-averaged
+  // total power equals the base total (migration energy aside). This is
+  // the invariant that makes scheme comparisons fair.
+  const auto power = hot_corner_map(5, 9.0, 0.7);
+  const double base_total = total_power(power);
+  for (MigrationScheme s : figure1_schemes()) {
+    const auto orbit = orbit_permutations(transform_of(s), GridDim{5, 5});
+    std::vector<double> avg(power.size(), 0.0);
+    for (const auto& perm : orbit) {
+      const auto moved = apply_permutation(power, perm);
+      for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += moved[i];
+    }
+    for (auto& v : avg) v /= static_cast<double>(orbit.size());
+    EXPECT_NEAR(total_power(avg), base_total, 1e-9) << to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace renoc

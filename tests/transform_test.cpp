@@ -1,0 +1,191 @@
+// Tests for the Table-1 transformation functions and permutation algebra:
+// exact formula checks, bijectivity across mesh sizes, group orders, fixed
+// points (the odd-mesh center), and composition/inversion identities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/transform.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+TEST(TransformTest, Table1RotationFormula) {
+  // Table 1: Rotation -> (N-1-Y, X).
+  const GridDim dim{4, 4};
+  const Transform rot{TransformKind::kRotation, 0};
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y) {
+      const GridCoord out = rot.apply({x, y}, dim);
+      EXPECT_EQ(out.x, 3 - y);
+      EXPECT_EQ(out.y, x);
+    }
+}
+
+TEST(TransformTest, Table1MirrorFormula) {
+  // Table 1: X Mirroring -> (N-1-X, Y).
+  const GridDim dim{5, 5};
+  const Transform mir{TransformKind::kMirrorX, 0};
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 5; ++y) {
+      const GridCoord out = mir.apply({x, y}, dim);
+      EXPECT_EQ(out.x, 4 - x);
+      EXPECT_EQ(out.y, y);
+    }
+}
+
+TEST(TransformTest, Table1TranslationFormula) {
+  // Table 1: X Translation -> (X + Offset, Y), modulo the mesh width.
+  const GridDim dim{4, 4};
+  const Transform shift{TransformKind::kShiftX, 1};
+  EXPECT_EQ(shift.apply({0, 2}, dim), (GridCoord{1, 2}));
+  EXPECT_EQ(shift.apply({3, 2}, dim), (GridCoord{0, 2}));
+  const Transform shift3{TransformKind::kShiftX, 3};
+  EXPECT_EQ(shift3.apply({2, 1}, dim), (GridCoord{1, 1}));
+}
+
+TEST(TransformTest, RotationRequiresSquare) {
+  const Transform rot{TransformKind::kRotation, 0};
+  EXPECT_THROW(rot.apply({0, 0}, GridDim{4, 5}), CheckError);
+  EXPECT_NO_THROW(rot.apply({0, 0}, GridDim{5, 5}));
+}
+
+struct KindCase {
+  TransformKind kind;
+  int offset;
+  int side;
+  int expected_order;
+};
+
+class TransformOrderTest : public ::testing::TestWithParam<KindCase> {};
+
+TEST_P(TransformOrderTest, BijectionAndGroupOrder) {
+  const KindCase& tc = GetParam();
+  const GridDim dim{tc.side, tc.side};
+  const Transform t{tc.kind, tc.offset};
+
+  // Bijectivity: permutation covers every tile exactly once.
+  const std::vector<int> perm = t.permutation(dim);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), dim.node_count());
+
+  // Group order.
+  EXPECT_EQ(orbit_length(t, dim), tc.expected_order);
+
+  // Orbit permutations: first is identity, all distinct.
+  const auto orbit = orbit_permutations(t, dim);
+  EXPECT_EQ(static_cast<int>(orbit.size()), tc.expected_order);
+  EXPECT_EQ(orbit[0], identity_permutation(dim.node_count()));
+  std::set<std::vector<int>> distinct(orbit.begin(), orbit.end());
+  EXPECT_EQ(distinct.size(), orbit.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, TransformOrderTest,
+    ::testing::Values(
+        KindCase{TransformKind::kIdentity, 0, 4, 1},
+        KindCase{TransformKind::kRotation, 0, 4, 4},
+        KindCase{TransformKind::kRotation, 0, 5, 4},
+        KindCase{TransformKind::kRotation, 0, 6, 4},
+        KindCase{TransformKind::kMirrorX, 0, 4, 2},
+        KindCase{TransformKind::kMirrorX, 0, 5, 2},
+        KindCase{TransformKind::kMirrorY, 0, 5, 2},
+        KindCase{TransformKind::kMirrorXY, 0, 4, 2},
+        KindCase{TransformKind::kMirrorXY, 0, 5, 2},
+        KindCase{TransformKind::kShiftX, 1, 4, 4},
+        KindCase{TransformKind::kShiftX, 1, 5, 5},
+        KindCase{TransformKind::kShiftX, 2, 4, 2},   // gcd shortening
+        KindCase{TransformKind::kShiftX, 2, 5, 5},
+        KindCase{TransformKind::kShiftXY, 1, 4, 4},
+        KindCase{TransformKind::kShiftXY, 1, 5, 5},
+        KindCase{TransformKind::kShiftXY, 1, 6, 6}));
+
+TEST(TransformTest, FixedPointsEvenMeshNoneOddMeshCenter) {
+  // The paper: "In the odd-dimensioned test cases, both the rotational and
+  // mirroring migration functions ignore the central PE."
+  const Transform rot{TransformKind::kRotation, 0};
+  const Transform mxy{TransformKind::kMirrorXY, 0};
+  EXPECT_TRUE(rot.fixed_points(GridDim{4, 4}).empty());
+  EXPECT_TRUE(mxy.fixed_points(GridDim{4, 4}).empty());
+
+  const auto rot5 = rot.fixed_points(GridDim{5, 5});
+  ASSERT_EQ(rot5.size(), 1u);
+  EXPECT_EQ(rot5[0], (GridCoord{2, 2}));
+  const auto mxy5 = mxy.fixed_points(GridDim{5, 5});
+  ASSERT_EQ(mxy5.size(), 1u);
+  EXPECT_EQ(mxy5[0], (GridCoord{2, 2}));
+
+  // X mirror fixes the whole center column on odd meshes.
+  const Transform mx{TransformKind::kMirrorX, 0};
+  EXPECT_EQ(mx.fixed_points(GridDim{5, 5}).size(), 5u);
+  // Translations have no fixed points — the reason they win on odd meshes.
+  const Transform sx{TransformKind::kShiftX, 1};
+  EXPECT_TRUE(sx.fixed_points(GridDim{5, 5}).empty());
+  const Transform sxy{TransformKind::kShiftXY, 1};
+  EXPECT_TRUE(sxy.fixed_points(GridDim{5, 5}).empty());
+}
+
+TEST(TransformTest, RightShiftPreservesRowMembership) {
+  // The mechanism behind right-shift's poor Figure-1 showing: it permutes
+  // within rows, so per-row power totals can never change.
+  const GridDim dim{5, 5};
+  const Transform sx{TransformKind::kShiftX, 1};
+  const std::vector<int> perm = sx.permutation(dim);
+  for (int i = 0; i < dim.node_count(); ++i) {
+    EXPECT_EQ(index_to_coord(perm[static_cast<std::size_t>(i)], dim).y,
+              index_to_coord(i, dim).y);
+  }
+}
+
+TEST(TransformTest, ComposeAndInvert) {
+  const GridDim dim{4, 4};
+  const Transform rot{TransformKind::kRotation, 0};
+  const std::vector<int> p = rot.permutation(dim);
+  const std::vector<int> inv = invert_permutation(p);
+  EXPECT_EQ(compose_permutations(p, inv), identity_permutation(16));
+  EXPECT_EQ(compose_permutations(inv, p), identity_permutation(16));
+  // Rotation composed four times is the identity.
+  std::vector<int> acc = identity_permutation(16);
+  for (int i = 0; i < 4; ++i) acc = compose_permutations(acc, p);
+  EXPECT_EQ(acc, identity_permutation(16));
+}
+
+TEST(TransformTest, MirrorXySquaredIsIdentityEverywhere) {
+  for (int side = 2; side <= 7; ++side) {
+    const GridDim dim{side, side};
+    const Transform mxy{TransformKind::kMirrorXY, 0};
+    const auto p = mxy.permutation(dim);
+    EXPECT_EQ(compose_permutations(p, p),
+              identity_permutation(dim.node_count()))
+        << "side " << side;
+  }
+}
+
+TEST(TransformTest, RotationOfRotationIsMirrorXY) {
+  // R^2 = point reflection = XY mirror, a classic dihedral identity that
+  // pins the rotation direction convention.
+  const GridDim dim{5, 5};
+  const auto r = Transform{TransformKind::kRotation, 0}.permutation(dim);
+  const auto m = Transform{TransformKind::kMirrorXY, 0}.permutation(dim);
+  EXPECT_EQ(compose_permutations(r, r), m);
+}
+
+TEST(SchemeTest, SchemeTransformsAndNames) {
+  EXPECT_EQ(transform_of(MigrationScheme::kRotation).kind,
+            TransformKind::kRotation);
+  EXPECT_EQ(transform_of(MigrationScheme::kShiftRight).kind,
+            TransformKind::kShiftX);
+  EXPECT_EQ(transform_of(MigrationScheme::kShiftRight).offset, 1);
+  EXPECT_EQ(figure1_schemes().size(), 5u);
+  EXPECT_STREQ(to_string(MigrationScheme::kShiftXY), "X-Y Shift");
+}
+
+TEST(PermutationHelpersTest, IdentityProperties) {
+  const auto id = identity_permutation(9);
+  EXPECT_EQ(compose_permutations(id, id), id);
+  EXPECT_EQ(invert_permutation(id), id);
+}
+
+}  // namespace
+}  // namespace renoc
