@@ -89,10 +89,11 @@ int run() {
       }
       bits += code.n();
     }
+    const double total_bits = static_cast<double>(bits);
     std::printf("%5.1f   %.3e   %.3e   %.3e    %d      %llu       %llu\n",
-                ebn0, static_cast<double>(golden_errs) / bits,
-                static_cast<double>(plain_errs) / bits,
-                static_cast<double>(mig_errs) / bits, blocks_per_point,
+                ebn0, static_cast<double>(golden_errs) / total_bits,
+                static_cast<double>(plain_errs) / total_bits,
+                static_cast<double>(mig_errs) / total_bits, blocks_per_point,
                 static_cast<unsigned long long>(plain_cycles /
                                                 blocks_per_point),
                 static_cast<unsigned long long>(mig_cycles_with_halt /

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure, build, and run ctest in Debug and
+# Release with warnings-as-errors, benches, and examples all enabled.
+# Usage: scripts/check.sh [extra cmake args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for config in Debug Release; do
+  build_dir="${repo_root}/build-check-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
+  echo "== ${config}: configure =="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE="${config}" \
+    -DRENOC_WERROR=ON \
+    -DRENOC_BUILD_BENCH=ON \
+    -DRENOC_BUILD_EXAMPLES=ON \
+    "$@"
+  echo "== ${config}: build =="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "== ${config}: ctest =="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+done
+
+echo "All checks passed."

@@ -150,7 +150,7 @@ ChipConfig config_by_name(const std::string& name) {
   for (ChipConfig& cfg : all_configs()) {
     if (cfg.name == name) return cfg;
   }
-  RENOC_CHECK_MSG(false, "unknown configuration '" << name << "'");
+  RENOC_FAIL("unknown configuration '" << name << "'");
 }
 
 BuiltChip build_chip(const ChipConfig& cfg) {

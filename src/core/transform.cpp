@@ -51,7 +51,7 @@ GridCoord Transform::apply(const GridCoord& c, const GridDim& dim) const {
       return GridCoord{positive_mod(c.x + offset, dim.width),
                        positive_mod(c.y + offset, dim.height)};
   }
-  RENOC_CHECK_MSG(false, "unknown transform kind");
+  RENOC_FAIL("unknown transform kind");
 }
 
 std::vector<int> Transform::permutation(const GridDim& dim) const {
@@ -86,7 +86,7 @@ int orbit_length(const Transform& t, const GridDim& dim) {
     }
     if (is_identity) return len;
   }
-  RENOC_CHECK_MSG(false, "orbit length not found (non-permutation?)");
+  RENOC_FAIL("orbit length not found (non-permutation?)");
 }
 
 std::vector<std::vector<int>> orbit_permutations(const Transform& t,
@@ -150,7 +150,7 @@ Transform transform_of(MigrationScheme scheme) {
     case MigrationScheme::kShiftXY:
       return Transform{TransformKind::kShiftXY, 1};
   }
-  RENOC_CHECK_MSG(false, "unknown migration scheme");
+  RENOC_FAIL("unknown migration scheme");
 }
 
 std::vector<MigrationScheme> figure1_schemes() {

@@ -143,13 +143,11 @@ PlacementResult ThermalAwarePlacer::place(
        ++it, temp *= cooling) {
     // Pick a random movable cluster and a random *other* free tile; swap
     // occupants.
-    const int c = movable[static_cast<std::size_t>(
-        rng.next_below(static_cast<std::uint64_t>(movable.size())))];
+    const int c = movable[rng.next_index(movable.size())];
     const int t_old = placement[static_cast<std::size_t>(c)];
     int t_new = t_old;
     while (t_new == t_old) {
-      t_new = free_tiles[static_cast<std::size_t>(rng.next_below(
-          static_cast<std::uint64_t>(free_tiles.size())))];
+      t_new = free_tiles[rng.next_index(free_tiles.size())];
     }
 
     const int other = occupant[static_cast<std::size_t>(t_new)];

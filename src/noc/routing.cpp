@@ -23,7 +23,7 @@ Direction opposite(Direction d) {
     case Direction::kWest: return Direction::kEast;
     case Direction::kLocal: break;
   }
-  RENOC_CHECK_MSG(false, "kLocal has no opposite direction");
+  RENOC_FAIL("kLocal has no opposite direction");
 }
 
 Direction xy_route(const GridCoord& here, const GridCoord& dst) {
@@ -42,7 +42,7 @@ GridCoord neighbor(const GridCoord& c, Direction d) {
     case Direction::kWest: return {c.x - 1, c.y};
     case Direction::kLocal: break;
   }
-  RENOC_CHECK_MSG(false, "neighbor() requires a mesh direction");
+  RENOC_FAIL("neighbor() requires a mesh direction");
 }
 
 std::vector<int> xy_path(const GridCoord& src, const GridCoord& dst,

@@ -58,7 +58,7 @@ int TrafficGenerator::destination(int src) {
       return coord_to_index(e, dim);
     }
   }
-  RENOC_CHECK_MSG(false, "unknown traffic pattern");
+  RENOC_FAIL("unknown traffic pattern");
 }
 
 void TrafficGenerator::step() {

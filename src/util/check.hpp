@@ -38,6 +38,17 @@ namespace detail {
       ::renoc::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
   } while (0)
 
+/// Unconditional failure with a streamed message. Unlike
+/// RENOC_CHECK_MSG(false, ...), the compiler sees the [[noreturn]] call
+/// directly, so this can terminate a non-void function.
+#define RENOC_FAIL(msg)                                                 \
+  do {                                                                  \
+    std::ostringstream renoc_check_os_;                                 \
+    renoc_check_os_ << msg;                                             \
+    ::renoc::detail::check_failed("RENOC_FAIL", __FILE__, __LINE__,     \
+                                  renoc_check_os_.str());               \
+  } while (0)
+
 /// Check with an extra streamed message: RENOC_CHECK_MSG(x > 0, "x=" << x).
 #define RENOC_CHECK_MSG(cond, msg)                                      \
   do {                                                                  \

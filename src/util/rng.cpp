@@ -53,6 +53,10 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
   }
 }
 
+std::size_t Rng::next_index(std::size_t size) {
+  return static_cast<std::size_t>(next_below(size));
+}
+
 double Rng::next_gaussian() {
   if (have_cached_gaussian_) {
     have_cached_gaussian_ = false;

@@ -6,6 +6,7 @@
 // and has no measurable bias for the quantities we draw.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace renoc {
@@ -24,6 +25,10 @@ class Rng {
 
   /// Uniform integer in [0, bound) with rejection to avoid modulo bias.
   std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform container index in [0, size): next_below() typed for the
+  /// ubiquitous `vec[rng.next_index(vec.size())]` pattern.
+  std::size_t next_index(std::size_t size);
 
   /// Standard normal variate (Box–Muller; caches the second value).
   double next_gaussian();

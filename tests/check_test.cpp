@@ -1,0 +1,139 @@
+// Edge-case coverage for util/check.hpp: nested RENOC_CHECK_MSG streaming,
+// exact exception message format, and release-mode (NDEBUG) behavior.
+//
+// This TU deliberately defines NDEBUG before any include: RENOC_CHECK is
+// documented as always active, so the macros must keep throwing in exactly
+// the configuration where assert() compiles away.
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+// A helper whose body runs a (passing) RENOC_CHECK_MSG. Called from inside
+// another RENOC_CHECK_MSG's streamed message, it exercises macro hygiene:
+// the inner expansion's ostringstream must not collide with the outer one.
+std::string describe(int v) {
+  RENOC_CHECK_MSG(v >= 0, "describe() needs v >= 0, got " << v);
+  std::ostringstream os;
+  os << "v=" << v;
+  return os.str();
+}
+
+TEST(CheckNdebugTest, ChecksFireWithNdebugDefined) {
+#ifndef NDEBUG
+  FAIL() << "this TU must compile with NDEBUG defined";
+#endif
+  EXPECT_THROW(RENOC_CHECK(false), CheckError);
+  EXPECT_THROW(RENOC_CHECK_MSG(false, "still active"), CheckError);
+}
+
+TEST(CheckNdebugTest, AssertIsCompiledOutButChecksAreNot) {
+  // Under NDEBUG, assert(false) is a no-op; reaching the next line proves it.
+  assert(false);
+  EXPECT_THROW(RENOC_CHECK(1 == 2), CheckError);
+}
+
+TEST(CheckMessageTest, FormatIsStable) {
+  // Tools and tests parse these messages; pin the exact layout:
+  //   RENOC_CHECK failed: (<expr>) at <file>:<line>
+  try {
+    RENOC_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    std::ostringstream expected;
+    expected << "RENOC_CHECK failed: (2 + 2 == 5) at " << __FILE__ << ":";
+    EXPECT_EQ(std::string(e.what()).rfind(expected.str(), 0), 0u)
+        << "got: " << e.what();
+  }
+}
+
+TEST(CheckMessageTest, MessageVariantAppendsDashSeparatedText) {
+  try {
+    RENOC_CHECK_MSG(false, "ctx " << 7 << '/' << 2.5);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RENOC_CHECK failed: (false) at "), std::string::npos)
+        << what;
+    // The streamed message is appended after an em-dash separator.
+    EXPECT_NE(what.find(" \xe2\x80\x94 ctx 7/2.5"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckMessageTest, EmptyStreamedMessageOmitsSeparator) {
+  try {
+    RENOC_CHECK_MSG(false, "");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_EQ(std::string(e.what()).find("\xe2\x80\x94"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckNestingTest, PassingNestedCheckInsideStreamedMessage) {
+  // The message expression itself calls a function that runs its own
+  // RENOC_CHECK_MSG; the inner check passes and the outer one fires.
+  try {
+    RENOC_CHECK_MSG(false, "outer " << describe(3) << " tail");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("outer v=3 tail"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckNestingTest, FailingNestedCheckWinsOverOuter) {
+  // When evaluating the outer message triggers a failing inner check, the
+  // inner CheckError must propagate with the inner diagnostic intact.
+  try {
+    RENOC_CHECK_MSG(false, "outer-marker " << describe(-1));
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("describe() needs v >= 0, got -1"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("outer-marker"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckNestingTest, LexicallyNestedChecksDoNotCollide) {
+  // Two RENOC_CHECK_MSG expansions in the same scope chain: the inner
+  // do-while introduces its own scope, so the hygiene variable may shadow
+  // but must not misbind.
+  int outer_evals = 0;
+  auto run = [&](bool inner_ok) {
+    RENOC_CHECK_MSG(
+        [&] {
+          ++outer_evals;
+          RENOC_CHECK_MSG(inner_ok, "inner gate");
+          return true;
+        }(),
+        "outer gate");
+  };
+  EXPECT_NO_THROW(run(true));
+  EXPECT_THROW(run(false), CheckError);
+  EXPECT_EQ(outer_evals, 2);
+}
+
+TEST(CheckErrorTest, IsALogicError) {
+  try {
+    RENOC_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("RENOC_CHECK failed"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace renoc

@@ -136,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GridDim{2, 2}, GridDim{3, 3}, GridDim{4, 4},
                       GridDim{5, 5}, GridDim{3, 5}, GridDim{5, 3},
                       GridDim{6, 4}, GridDim{8, 8}),
-    [](const ::testing::TestParamInfo<GridDim>& info) {
-      return std::to_string(info.param.width) + "x" +
-             std::to_string(info.param.height);
+    [](const ::testing::TestParamInfo<GridDim>& param_info) {
+      return std::to_string(param_info.param.width) + "x" +
+             std::to_string(param_info.param.height);
     });
 
 // Buffer-depth sweep: the credit protocol must hold at any depth.
