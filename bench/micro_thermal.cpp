@@ -1,63 +1,161 @@
-// Microbenchmarks for the thermal solver: network assembly, LU
-// factorization, steady solve, and backward-Euler stepping — the inner
-// loops of the periodic co-simulation (a Figure-1 cell integrates a few
-// thousand transient steps).
-#include <benchmark/benchmark.h>
+// Dense-vs-sparse microbenchmark for the thermal solver.
+//
+// Sweeps the refinement factor of a 4x4-tile die (node count = 48 *
+// refine^2 + 10) and times, for the same RC network, the dense LU path
+// against the sparse LDL^T path:
+// factorization of G, steady solves, and backward-Euler transient steps —
+// the inner loops of the periodic co-simulation and the grid-resolution
+// ablation. Every row also cross-checks that the two backends agree to
+// 1e-8 on a steady solve, so a broken sparse path fails the binary instead
+// of printing fast nonsense.
+//
+// Usage: bench_micro_thermal [--smoke]
+//   --smoke   tiny sizes and budgets; used by CI and scripts/check.sh so
+//             this target can never silently rot.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "floorplan/floorplan.hpp"
 #include "thermal/hotspot_params.hpp"
 #include "thermal/rc_network.hpp"
 #include "thermal/solver.hpp"
+#include "util/sparse.hpp"
+#include "util/table.hpp"
 
 namespace renoc {
 namespace {
 
-RcNetwork net_for(int side) {
+/// Network of a 4x4-tile die subdivided refine x refine per tile (the same
+/// construction as RefinedThermalModel): node count grows as 48 * refine^2
+/// + 10 while the die keeps fitting the package.
+RcNetwork net_for(int refine) {
+  const int side = 4 * refine;
   return build_rc_network(
-      make_grid_floorplan(GridDim{side, side}, date05_tile_area()),
+      make_grid_floorplan(GridDim{side, side},
+                          date05_tile_area() /
+                              (static_cast<double>(refine) * refine)),
       date05_hotspot_params());
 }
 
-void BM_BuildNetwork(benchmark::State& state) {
-  const int side = static_cast<int>(state.range(0));
-  const Floorplan fp =
-      make_grid_floorplan(GridDim{side, side}, date05_tile_area());
-  const HotSpotParams params = date05_hotspot_params();
-  for (auto _ : state) benchmark::DoNotOptimize(build_rc_network(fp, params));
-}
-
-void BM_SteadySolverSetup(benchmark::State& state) {
-  const RcNetwork net = net_for(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    SteadyStateSolver solver(net);
-    benchmark::DoNotOptimize(&solver);
+/// Best-of-N wall time of op() in milliseconds: repeats until the budget is
+/// spent (at least twice), reporting the fastest run.
+double time_ms(double budget_ms, const std::function<void()>& op) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  double spent = 0.0;
+  int reps = 0;
+  while (reps < 2 || spent < budget_ms) {
+    const auto t0 = clock::now();
+    op();
+    const auto t1 = clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    best = std::min(best, ms);
+    spent += ms;
+    ++reps;
   }
+  return best;
 }
 
-void BM_SteadySolve(benchmark::State& state) {
-  const RcNetwork net = net_for(static_cast<int>(state.range(0)));
-  SteadyStateSolver solver(net);
+struct RowResult {
+  bool agree = true;
+  double speedup = 0.0;  // dense / sparse, factor + solve
+};
+
+RowResult run_row(Table& table, int refine, double budget_ms) {
+  const RcNetwork net = net_for(refine);
+  const int n = net.node_count();
   std::vector<double> power(static_cast<std::size_t>(net.die_count()), 2.0);
   power[0] = 9.0;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(solver.solve_die_power(power));
-}
 
-void BM_TransientStep(benchmark::State& state) {
-  const RcNetwork net = net_for(static_cast<int>(state.range(0)));
-  TransientSolver transient(net, 2e-6);
-  std::vector<double> power(static_cast<std::size_t>(net.die_count()), 2.0);
+  const double dense_factor = time_ms(budget_ms, [&] {
+    SteadyStateSolver s(net, SolverBackend::kDense);
+    (void)s;
+  });
+  const double sparse_factor = time_ms(budget_ms, [&] {
+    SteadyStateSolver s(net, SolverBackend::kSparse);
+    (void)s;
+  });
+
+  const SteadyStateSolver dense(net, SolverBackend::kDense);
+  const SteadyStateSolver sparse(net, SolverBackend::kSparse);
+  const double dense_solve =
+      time_ms(budget_ms, [&] { dense.solve_die_power(power); });
+  const double sparse_solve =
+      time_ms(budget_ms, [&] { sparse.solve_die_power(power); });
+
+  TransientSolver dense_tr(net, 2e-6, SolverBackend::kDense);
+  TransientSolver sparse_tr(net, 2e-6, SolverBackend::kSparse);
   const std::vector<double> full = net.expand_die_power(power);
-  for (auto _ : state) transient.step(full);
-  state.SetItemsProcessed(state.iterations());
+  const double dense_step = time_ms(budget_ms, [&] { dense_tr.step(full); });
+  const double sparse_step =
+      time_ms(budget_ms, [&] { sparse_tr.step(full); });
+
+  RowResult r;
+  const std::vector<double> rise_d = dense.solve_die_power(power);
+  const std::vector<double> rise_s = sparse.solve_die_power(power);
+  for (std::size_t i = 0; i < rise_d.size(); ++i)
+    if (std::fabs(rise_d[i] - rise_s[i]) > 1e-8) r.agree = false;
+  r.speedup = (dense_factor + dense_solve) / (sparse_factor + sparse_solve);
+
+  const SparseLdlt ldlt(net.conductance_sparse());
+  table.add_row({std::to_string(refine), std::to_string(4 * refine),
+                 std::to_string(n),
+                 std::to_string(net.conductance_sparse().nnz()),
+                 std::to_string(ldlt.factor_nnz()),
+                 Table::num(dense_factor, 3), Table::num(sparse_factor, 3),
+                 Table::num(dense_solve, 4), Table::num(sparse_solve, 4),
+                 Table::num(dense_step, 4), Table::num(sparse_step, 4),
+                 Table::num(r.speedup, 1), r.agree ? "yes" : "NO"});
+  return r;
 }
 
-BENCHMARK(BM_BuildNetwork)->Arg(4)->Arg(5)->Arg(8);
-BENCHMARK(BM_SteadySolverSetup)->Arg(4)->Arg(5)->Arg(8);
-BENCHMARK(BM_SteadySolve)->Arg(4)->Arg(5)->Arg(8);
-BENCHMARK(BM_TransientStep)->Arg(4)->Arg(5)->Arg(8);
+int run(bool smoke) {
+  const std::vector<int> refines =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3, 4, 6, 8};
+  const double budget_ms = smoke ? 5.0 : 200.0;
+
+  Table table({"refine", "side", "nodes", "nnz(G)", "nnz(L)", "LU fact ms",
+               "LDLt fact ms", "LU solve ms", "LDLt solve ms", "LU step ms",
+               "LDLt step ms", "speedup", "agree<=1e-8"});
+  table.set_title(
+      std::string("Thermal solve: dense LU vs sparse LDLt (4x4 tiles "
+                  "subdivided refine x refine; speedup = dense factor+solve "
+                  "over sparse)") +
+      (smoke ? " [smoke]" : ""));
+
+  bool all_agree = true;
+  for (int refine : refines) {
+    const RowResult r = run_row(table, refine, budget_ms);
+    all_agree = all_agree && r.agree;
+  }
+  table.print(std::cout);
+
+  if (!all_agree) {
+    std::cerr << "FAIL: dense and sparse solvers disagree beyond 1e-8\n";
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace renoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return renoc::run(smoke);
+}

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 # One-shot tier-1 verify: configure, build, and run ctest in Debug and
-# Release with warnings-as-errors, benches, and examples all enabled.
-# Usage: scripts/check.sh [extra cmake args...]
+# Release with warnings-as-errors, benches, and examples all enabled, then
+# smoke-run the dense-vs-sparse thermal bench so the bench target cannot
+# silently rot.
+# Usage: scripts/check.sh [--skip-bench-smoke] [extra cmake args...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+bench_smoke=1
+if [[ "${1:-}" == "--skip-bench-smoke" ]]; then
+  bench_smoke=0
+  shift
+fi
 
 for config in Debug Release; do
   build_dir="${repo_root}/build-check-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
@@ -20,6 +28,10 @@ for config in Debug Release; do
   cmake --build "${build_dir}" -j "${jobs}"
   echo "== ${config}: ctest =="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  if [[ "${bench_smoke}" == 1 ]]; then
+    echo "== ${config}: bench smoke (micro_thermal) =="
+    "${build_dir}/bench/bench_micro_thermal" --smoke
+  fi
 done
 
 echo "All checks passed."

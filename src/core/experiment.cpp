@@ -53,7 +53,8 @@ void ExperimentDriver::prepare(int measure_blocks) {
   built_ = std::make_unique<BuiltChip>(build_chip(cfg_));
   net_ = std::make_unique<RcNetwork>(
       build_rc_network(built_->floorplan, cfg_.hotspot));
-  SteadyStateSolver steady(*net_);
+  steady_ = std::make_unique<SteadyStateSolver>(*net_);
+  SteadyStateSolver& steady = *steady_;
 
   // --- Thermally-aware placement over design-time compute power --------
   ThermalAwarePlacer placer(steady, cfg_.dim, cfg_.placer);
@@ -86,8 +87,7 @@ void ExperimentDriver::prepare(int measure_blocks) {
 
 std::vector<double> ExperimentDriver::baseline_die_temps() const {
   RENOC_CHECK(prepared_);
-  SteadyStateSolver steady(*net_);
-  const std::vector<double> rise = steady.solve_die_power(base_power_);
+  const std::vector<double> rise = steady_->solve_die_power(base_power_);
   std::vector<double> temps(static_cast<std::size_t>(net_->die_count()));
   for (int i = 0; i < net_->die_count(); ++i)
     temps[static_cast<std::size_t>(i)] =

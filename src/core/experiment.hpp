@@ -84,6 +84,7 @@ class ExperimentDriver {
   ChipConfig cfg_;
   std::unique_ptr<BuiltChip> built_;
   std::unique_ptr<RcNetwork> net_;
+  std::unique_ptr<SteadyStateSolver> steady_;  // factored once in prepare()
   std::vector<int> placement_;
   std::vector<double> base_power_;
   double base_peak_temp_c_ = 0.0;

@@ -21,6 +21,11 @@ MigrationThermalRuntime::MigrationThermalRuntime(const RcNetwork& net,
   options_.validate();
 }
 
+int MigrationThermalRuntime::steps_per_period() const {
+  return std::max(
+      1, static_cast<int>(std::ceil(options_.period_s / options_.dt_s)));
+}
+
 ThermalRunResult MigrationThermalRuntime::run(
     const std::vector<double>& base_power,
     const std::vector<std::vector<int>>& orbit,
@@ -48,8 +53,8 @@ ThermalRunResult MigrationThermalRuntime::run(
     }
   }
 
-  SteadyStateSolver steady(net);
-  const std::vector<double> steady_rise = steady.solve_die_power(avg);
+  if (!steady_) steady_ = std::make_unique<SteadyStateSolver>(net);
+  const std::vector<double> steady_rise = steady_->solve_die_power(avg);
 
   ThermalRunResult result;
   result.steady_peak_of_avg_c =
@@ -59,7 +64,8 @@ ThermalRunResult MigrationThermalRuntime::run(
   // steady state already.
   const bool is_static = (L == 1) && migration_energy.empty();
   if (is_static) {
-    const std::vector<double> rise = steady.solve_die_power(segment_power[0]);
+    const std::vector<double> rise =
+        steady_->solve_die_power(segment_power[0]);
     result.peak_temp_c = net.ambient() + net.peak_die_rise(rise);
     result.mean_temp_c = net.ambient() + net.mean_die_rise(rise);
     result.ripple_c = 0.0;
@@ -68,12 +74,32 @@ ThermalRunResult MigrationThermalRuntime::run(
     return result;
   }
 
-  // Snap dt so an integer number of steps covers one period.
-  const int steps_per_period = std::max(
-      1, static_cast<int>(std::ceil(options_.period_s / options_.dt_s)));
-  const double dt = options_.period_s / steps_per_period;
-  TransientSolver transient(net, dt);
+  // Snap dt so an integer number of steps covers one period. Both the step
+  // count and dt are fixed by options_, so the factorization is reused
+  // across run() calls; only the state is re-seeded.
+  const int steps = steps_per_period();
+  const double dt = options_.period_s / steps;
+  if (!transient_) transient_ = std::make_unique<TransientSolver>(net, dt);
+  TransientSolver& transient = *transient_;
   transient.set_state(steady_rise);
+
+  // Pre-expand each segment's die power to a full-node vector once, and
+  // pre-fold the migration spike (energy / dt extra watts for the first
+  // step of the segment) into its own full vector — the hot loop below
+  // then never allocates or re-expands.
+  std::vector<std::vector<double>> segment_full(L);
+  std::vector<std::vector<double>> spiked_full;
+  if (!migration_energy.empty())
+    spiked_full.resize(L);
+  for (std::size_t seg = 0; seg < L; ++seg) {
+    segment_full[seg] = net.expand_die_power(segment_power[seg]);
+    if (!migration_energy.empty()) {
+      const auto& e_map = migration_energy[seg];
+      spiked_full[seg] = segment_full[seg];
+      for (std::size_t i = 0; i < e_map.size(); ++i)
+        spiked_full[seg][i] += e_map[i] / dt;
+    }
+  }
 
   double prev_orbit_peak = result.steady_peak_of_avg_c;
   double mean_accum = 0.0;
@@ -83,19 +109,9 @@ ThermalRunResult MigrationThermalRuntime::run(
     double orbit_peak = -1e300;
     double peak_node_min = 1e300;  // min over time of the instantaneous peak
     for (std::size_t seg = 0; seg < L; ++seg) {
-      // Base power for this segment, with the migration spike folded into
-      // the first step (energy / dt extra watts for one step).
-      const std::vector<double>& seg_power = segment_power[seg];
-      for (int step = 0; step < steps_per_period; ++step) {
-        if (step == 0 && !migration_energy.empty()) {
-          std::vector<double> spiked = seg_power;
-          const auto& e_map = migration_energy[seg];
-          for (std::size_t i = 0; i < spiked.size(); ++i)
-            spiked[i] += e_map[i] / dt;
-          transient.step_die_power(spiked);
-        } else {
-          transient.step_die_power(seg_power);
-        }
+      for (int step = 0; step < steps; ++step) {
+        const bool spike = step == 0 && !spiked_full.empty();
+        transient.step(spike ? spiked_full[seg] : segment_full[seg]);
         const double peak_rise = net.peak_die_rise(transient.state());
         orbit_peak = std::max(orbit_peak, net.ambient() + peak_rise);
         peak_node_min =

@@ -20,6 +20,7 @@
 // energy: the result collapses to the steady-state solution.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "thermal/rc_network.hpp"
@@ -66,8 +67,18 @@ class MigrationThermalRuntime {
   const RcNetwork& network() const { return *net_; }
 
  private:
+  /// Number of transient steps covering one period (options_.dt_s rounded
+  /// so an integer count fits; the snapped dt is period_s / this).
+  int steps_per_period() const;
+
+  // Both factorizations depend only on net_ and options_, so they are
+  // built on the first run() and reused by every later one (the transient
+  // state is re-seeded from the steady solution each run). Mutable lazy
+  // caches; not thread-safe, like the rest of the library.
   const RcNetwork* net_;
   ThermalRunOptions options_;
+  mutable std::unique_ptr<SteadyStateSolver> steady_;
+  mutable std::unique_ptr<TransientSolver> transient_;
 };
 
 }  // namespace renoc

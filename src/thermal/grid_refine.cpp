@@ -7,21 +7,29 @@
 
 namespace renoc {
 
+int RefinedThermalModel::checked_refine(int refine) {
+  RENOC_CHECK_MSG(refine >= 1 && refine <= 8,
+                  "refine factor " << refine << " out of supported range");
+  return refine;
+}
+
+// checked_refine() must run before the first member that uses `refine`:
+// members initialize in declaration order, so validating in the body (as an
+// earlier version did) let refine=0 divide tile_area by zero and build a
+// bogus 0x0 fine grid before the check ever executed.
 RefinedThermalModel::RefinedThermalModel(const GridDim& tile_dim,
                                          double tile_area,
                                          const HotSpotParams& params,
                                          int refine)
     : tile_dim_(tile_dim),
-      fine_dim_{tile_dim.width * refine, tile_dim.height * refine},
+      fine_dim_{tile_dim.width * checked_refine(refine),
+                tile_dim.height * refine},
       refine_(refine),
       net_(build_rc_network(
           make_grid_floorplan(fine_dim_,
                               tile_area / (static_cast<double>(refine) *
                                            refine)),
-          params)) {
-  RENOC_CHECK_MSG(refine >= 1 && refine <= 8,
-                  "refine factor " << refine << " out of supported range");
-}
+          params)) {}
 
 std::vector<int> RefinedThermalModel::subblocks_of_tile(int tile) const {
   RENOC_CHECK(tile >= 0 && tile < tile_dim_.node_count());
@@ -65,11 +73,15 @@ std::vector<double> RefinedThermalModel::tile_temperatures(
   return temps;
 }
 
+const SteadyStateSolver& RefinedThermalModel::steady_solver() const {
+  if (!solver_) solver_ = std::make_unique<SteadyStateSolver>(net_);
+  return *solver_;
+}
+
 double RefinedThermalModel::peak_tile_temperature(
     const std::vector<double>& tile_power) const {
-  SteadyStateSolver solver(net_);
   const std::vector<double> rise =
-      solver.solve_die_power(refine_power(tile_power));
+      steady_solver().solve_die_power(refine_power(tile_power));
   return net_.ambient() + net_.peak_die_rise(rise);
 }
 

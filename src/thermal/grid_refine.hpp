@@ -13,11 +13,13 @@
 // Figure-1 comparison at refine=2 to confirm the scheme ordering holds.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "floorplan/floorplan.hpp"
 #include "thermal/hotspot_params.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
 
 namespace renoc {
 
@@ -43,18 +45,29 @@ class RefinedThermalModel {
   std::vector<double> tile_temperatures(
       const std::vector<double>& rise) const;
 
-  /// Peak die temperature for a per-tile power map (steady state).
+  /// Peak die temperature for a per-tile power map (steady state). Reuses
+  /// the cached steady_solver(), so repeated queries pay one factorization.
   double peak_tile_temperature(const std::vector<double>& tile_power) const;
+
+  /// Steady-state solver over the refined network, built on first use and
+  /// cached for the lifetime of the model (not thread-safe, like the rest
+  /// of the library).
+  const SteadyStateSolver& steady_solver() const;
 
   /// Sub-block indices belonging to a tile (row-major within the fine
   /// grid; exposed for tests).
   std::vector<int> subblocks_of_tile(int tile) const;
 
  private:
+  /// Validates the refinement factor; called from the member-init list
+  /// before anything divides by or sizes with it.
+  static int checked_refine(int refine);
+
   GridDim tile_dim_;
   GridDim fine_dim_;
   int refine_;
   RcNetwork net_;
+  mutable std::unique_ptr<SteadyStateSolver> solver_;  // lazy cache
 };
 
 }  // namespace renoc

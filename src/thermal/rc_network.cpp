@@ -8,16 +8,14 @@
 namespace renoc {
 namespace {
 
-/// Adds a conductance g between nodes a and b of matrix G (symmetric
-/// stamp: diagonal += g, off-diagonal -= g).
-void stamp(Matrix& g_mat, int a, int b, double g) {
+/// Adds a conductance g between nodes a and b (symmetric stamp: diagonal
+/// += g, off-diagonal -= g). Duplicate stamps sum during CSR assembly.
+void stamp(std::vector<Triplet>& trips, int a, int b, double g) {
   RENOC_CHECK(g > 0.0);
-  const auto ua = static_cast<std::size_t>(a);
-  const auto ub = static_cast<std::size_t>(b);
-  g_mat(ua, ua) += g;
-  g_mat(ub, ub) += g;
-  g_mat(ua, ub) -= g;
-  g_mat(ub, ua) -= g;
+  trips.push_back({a, a, g});
+  trips.push_back({b, b, g});
+  trips.push_back({a, b, -g});
+  trips.push_back({b, a, -g});
 }
 
 /// Vertical conduction resistance of a slab: t / (k * A).
@@ -27,7 +25,7 @@ double vertical_r(double thickness, double k, double area) {
 
 }  // namespace
 
-RcNetwork::RcNetwork(Matrix g, std::vector<double> cap,
+RcNetwork::RcNetwork(SparseMatrix g, std::vector<double> cap,
                      std::vector<std::string> names, int die_count,
                      double ambient)
     : g_(std::move(g)),
@@ -36,11 +34,16 @@ RcNetwork::RcNetwork(Matrix g, std::vector<double> cap,
       die_count_(die_count),
       ambient_(ambient) {
   RENOC_CHECK(g_.rows() == g_.cols());
-  RENOC_CHECK(g_.rows() == cap_.size());
+  RENOC_CHECK(g_.rows() == static_cast<int>(cap_.size()));
   RENOC_CHECK(names_.size() == cap_.size());
   RENOC_CHECK(die_count_ > 0 &&
               die_count_ <= static_cast<int>(cap_.size()));
   for (double c : cap_) RENOC_CHECK(c > 0.0);
+}
+
+const Matrix& RcNetwork::conductance() const {
+  if (!dense_g_) dense_g_ = std::make_unique<Matrix>(g_.to_dense());
+  return *dense_g_;
 }
 
 const std::string& RcNetwork::node_name(int i) const {
@@ -103,7 +106,9 @@ RcNetwork build_rc_network(const Floorplan& fp, const HotSpotParams& p) {
   const int idx_convec = 3 * n + 9;
   const int total = 3 * n + 10;
 
-  Matrix g(static_cast<std::size_t>(total), static_cast<std::size_t>(total));
+  // ~7 stamps of 4 triplets per node; reserve once and assemble at the end.
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(total) * 28);
   std::vector<double> cap(static_cast<std::size_t>(total), 0.0);
   std::vector<std::string> names(static_cast<std::size_t>(total));
 
@@ -157,10 +162,10 @@ RcNetwork build_rc_network(const Floorplan& fp, const HotSpotParams& p) {
     const double half_b = (adj.horizontal ? b.width : b.height) / 2.0;
     const double r_die =
         (half_a + half_b) / (p.k_die * p.t_die * adj.shared_len);
-    stamp(g, adj.a, adj.b, 1.0 / r_die);
+    stamp(trips, adj.a, adj.b, 1.0 / r_die);
     const double r_sp =
         (half_a + half_b) / (p.k_spreader * p.t_spreader * adj.shared_len);
-    stamp(g, idx_sp0 + adj.a, idx_sp0 + adj.b, 1.0 / r_sp);
+    stamp(trips, idx_sp0 + adj.a, idx_sp0 + adj.b, 1.0 / r_sp);
   }
 
   // --- Vertical stack per block: die -> TIM -> spreader -> sink center --
@@ -168,14 +173,14 @@ RcNetwork build_rc_network(const Floorplan& fp, const HotSpotParams& p) {
     const double a = fp.block(i).area();
     const double r_die_tim = vertical_r(p.t_die / 2, p.k_die, a) +
                              vertical_r(p.t_interface / 2, p.k_interface, a);
-    stamp(g, i, idx_tim0 + i, 1.0 / r_die_tim);
+    stamp(trips, i, idx_tim0 + i, 1.0 / r_die_tim);
     const double r_tim_sp =
         vertical_r(p.t_interface / 2, p.k_interface, a) +
         vertical_r(p.t_spreader / 2, p.k_spreader, a);
-    stamp(g, idx_tim0 + i, idx_sp0 + i, 1.0 / r_tim_sp);
+    stamp(trips, idx_tim0 + i, idx_sp0 + i, 1.0 / r_tim_sp);
     const double r_sp_sink = vertical_r(p.t_spreader / 2, p.k_spreader, a) +
                              vertical_r(p.t_sink / 2, p.k_sink, a);
-    stamp(g, idx_sp0 + i, idx_sink_center, 1.0 / r_sp_sink);
+    stamp(trips, idx_sp0 + i, idx_sink_center, 1.0 / r_sp_sink);
   }
 
   // --- Die-boundary spreader nodes couple to the periphery trapezoids ---
@@ -223,7 +228,7 @@ RcNetwork build_rc_network(const Floorplan& fp, const HotSpotParams& p) {
       // resistance; the distributed-leakage (fin) solution shortens the
       // effective path to roughly a third of the lumped value.
       r_margin /= 3.0;
-      stamp(g, idx_sp0 + i, idx_sp_per0 + e.trapezoid,
+      stamp(trips, idx_sp0 + i, idx_sp_per0 + e.trapezoid,
             1.0 / (r_block + r_margin));
     }
   }
@@ -233,7 +238,7 @@ RcNetwork build_rc_network(const Floorplan& fp, const HotSpotParams& p) {
     const double r_per =
         vertical_r(p.t_spreader / 2, p.k_spreader, a_sp_per_each) +
         vertical_r(p.t_sink / 2, p.k_sink, a_sp_per_each);
-    stamp(g, idx_sp_per0 + d, idx_sink_center, 1.0 / r_per);
+    stamp(trips, idx_sp_per0 + d, idx_sink_center, 1.0 / r_per);
   }
 
   // --- Sink center <-> sink periphery (lateral in sink base) ------------
@@ -243,28 +248,27 @@ RcNetwork build_rc_network(const Floorplan& fp, const HotSpotParams& p) {
     const double width = (p.s_spreader + p.s_sink) / 2.0;
     const double r = len / (p.k_sink * p.t_sink * width);
     for (int d = 0; d < 4; ++d)
-      stamp(g, idx_sink_center, idx_sink_per0 + d, 1.0 / r);
+      stamp(trips, idx_sink_center, idx_sink_per0 + d, 1.0 / r);
   }
 
   // --- Sink -> convection node (vertical through remaining half sink) ---
   {
     const double r_center = vertical_r(p.t_sink / 2, p.k_sink, a_sp_total);
-    stamp(g, idx_sink_center, idx_convec, 1.0 / r_center);
+    stamp(trips, idx_sink_center, idx_convec, 1.0 / r_center);
     for (int d = 0; d < 4; ++d) {
       const double r_per =
           vertical_r(p.t_sink / 2, p.k_sink, a_sink_per_each);
-      stamp(g, idx_sink_per0 + d, idx_convec, 1.0 / r_per);
+      stamp(trips, idx_sink_per0 + d, idx_convec, 1.0 / r_per);
     }
   }
 
   // --- Convection to ambient --------------------------------------------
   // Ambient is the reference (temperatures are rises), so the conductance
   // appears only on the diagonal.
-  g(static_cast<std::size_t>(idx_convec),
-    static_cast<std::size_t>(idx_convec)) += 1.0 / p.r_convec;
+  trips.push_back({idx_convec, idx_convec, 1.0 / p.r_convec});
 
-  return RcNetwork(std::move(g), std::move(cap), std::move(names), n,
-                   p.ambient);
+  return RcNetwork(SparseMatrix::from_triplets(total, total, trips),
+                   std::move(cap), std::move(names), n, p.ambient);
 }
 
 }  // namespace renoc

@@ -35,27 +35,38 @@
 // HotSpot applies; it keeps the solvers free of boundary special cases.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "floorplan/floorplan.hpp"
 #include "thermal/hotspot_params.hpp"
 #include "util/matrix.hpp"
+#include "util/sparse.hpp"
 
 namespace renoc {
 
 /// Assembled thermal network: conductance matrix, heat capacities, and node
 /// bookkeeping. Produced by build_rc_network(); immutable afterwards.
+///
+/// The conductance matrix is stored sparse (CSR); each node couples to at
+/// most seven neighbours plus the package hubs, so the dense form is
+/// quadratically larger. A dense view is materialized lazily for the dense
+/// solver fallback and cross-check tests.
 class RcNetwork {
  public:
-  RcNetwork(Matrix g, std::vector<double> cap, std::vector<std::string> names,
-            int die_count, double ambient);
+  RcNetwork(SparseMatrix g, std::vector<double> cap,
+            std::vector<std::string> names, int die_count, double ambient);
 
   int node_count() const { return static_cast<int>(cap_.size()); }
   /// Number of die (floorplan block) nodes; these are nodes [0, die_count).
   int die_count() const { return die_count_; }
 
-  const Matrix& conductance() const { return g_; }
+  const SparseMatrix& conductance_sparse() const { return g_; }
+
+  /// Dense view of the conductance matrix, built on first use and cached
+  /// (not thread-safe, like the rest of the library).
+  const Matrix& conductance() const;
   const std::vector<double>& capacitance() const { return cap_; }
   const std::string& node_name(int i) const;
   double ambient() const { return ambient_; }
@@ -72,7 +83,8 @@ class RcNetwork {
   double mean_die_rise(const std::vector<double>& rise) const;
 
  private:
-  Matrix g_;
+  SparseMatrix g_;
+  mutable std::unique_ptr<Matrix> dense_g_;  // lazy cache for conductance()
   std::vector<double> cap_;
   std::vector<std::string> names_;
   int die_count_ = 0;

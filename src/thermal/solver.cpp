@@ -1,36 +1,84 @@
 #include "thermal/solver.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace renoc {
 namespace {
 
-Matrix step_matrix(const RcNetwork& net, double dt) {
+bool dense_forced_by_env() {
+  const char* v = std::getenv("RENOC_DENSE_SOLVE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+SolverBackend resolve_backend(SolverBackend requested, int node_count) {
+  if (requested != SolverBackend::kAuto) return requested;
+  if (dense_forced_by_env()) return SolverBackend::kDense;
+  return node_count < kDenseNodeCutoff ? SolverBackend::kDense
+                                       : SolverBackend::kSparse;
+}
+
+std::vector<double> c_over_dt_diagonal(const RcNetwork& net, double dt) {
   RENOC_CHECK_MSG(dt > 0.0, "transient dt must be positive");
+  std::vector<double> d(static_cast<std::size_t>(net.node_count()));
+  for (int i = 0; i < net.node_count(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    d[u] = net.capacitance()[u] / dt;
+  }
+  return d;
+}
+
+/// Dense (C/dt + G) for the LU fallback path.
+Matrix dense_step_matrix(const RcNetwork& net,
+                         const std::vector<double>& c_over_dt) {
   Matrix m = net.conductance();
   for (int i = 0; i < net.node_count(); ++i) {
     const auto u = static_cast<std::size_t>(i);
-    m(u, u) += net.capacitance()[u] / dt;
+    m(u, u) += c_over_dt[u];
   }
   return m;
 }
 
+/// Copies die power into the leading entries of a full-node scratch vector
+/// whose package tail is already zero (allocation-free expand_die_power).
+const std::vector<double>& expand_into(const RcNetwork& net,
+                                       const std::vector<double>& die_power,
+                                       std::vector<double>& full) {
+  RENOC_CHECK_MSG(static_cast<int>(die_power.size()) == net.die_count(),
+                  "power vector size " << die_power.size()
+                                      << " != die count " << net.die_count());
+  full.resize(static_cast<std::size_t>(net.node_count()), 0.0);
+  std::copy(die_power.begin(), die_power.end(), full.begin());
+  return full;
+}
+
 }  // namespace
 
-SteadyStateSolver::SteadyStateSolver(const RcNetwork& net)
-    : net_(&net), lu_(net.conductance()) {}
+SteadyStateSolver::SteadyStateSolver(const RcNetwork& net,
+                                     SolverBackend backend)
+    : net_(&net) {
+  switch (resolve_backend(backend, net.node_count())) {
+    case SolverBackend::kSparse:
+      ldlt_ = std::make_unique<SparseLdlt>(net.conductance_sparse());
+      break;
+    case SolverBackend::kDense:
+    case SolverBackend::kAuto:
+      lu_ = std::make_unique<LuFactorization>(net.conductance());
+      break;
+  }
+}
 
 std::vector<double> SteadyStateSolver::solve(
     const std::vector<double>& power) const {
   RENOC_CHECK(static_cast<int>(power.size()) == net_->node_count());
-  return lu_.solve(power);
+  return ldlt_ ? ldlt_->solve(power) : lu_->solve(power);
 }
 
 std::vector<double> SteadyStateSolver::solve_die_power(
     const std::vector<double>& die_power) const {
-  return solve(net_->expand_die_power(die_power));
+  return solve(expand_into(*net_, die_power, full_power_));
 }
 
 double SteadyStateSolver::peak_die_temperature(
@@ -39,16 +87,23 @@ double SteadyStateSolver::peak_die_temperature(
   return net_->ambient() + net_->peak_die_rise(rise);
 }
 
-TransientSolver::TransientSolver(const RcNetwork& net, double dt)
+TransientSolver::TransientSolver(const RcNetwork& net, double dt,
+                                 SolverBackend backend)
     : net_(&net),
       dt_(dt),
-      step_lu_(step_matrix(net, dt)),
-      c_over_dt_(static_cast<std::size_t>(net.node_count())),
+      c_over_dt_(c_over_dt_diagonal(net, dt)),
       state_(static_cast<std::size_t>(net.node_count()), 0.0),
       rhs_(static_cast<std::size_t>(net.node_count()), 0.0) {
-  for (int i = 0; i < net.node_count(); ++i) {
-    const auto u = static_cast<std::size_t>(i);
-    c_over_dt_[u] = net.capacitance()[u] / dt;
+  switch (resolve_backend(backend, net.node_count())) {
+    case SolverBackend::kSparse:
+      step_ldlt_ = std::make_unique<SparseLdlt>(
+          net.conductance_sparse().plus_diagonal(c_over_dt_));
+      break;
+    case SolverBackend::kDense:
+    case SolverBackend::kAuto:
+      step_lu_ = std::make_unique<LuFactorization>(
+          dense_step_matrix(net, c_over_dt_));
+      break;
   }
 }
 
@@ -67,12 +122,15 @@ void TransientSolver::step(const std::vector<double>& power) {
   RENOC_CHECK(static_cast<int>(power.size()) == net_->node_count());
   for (std::size_t i = 0; i < state_.size(); ++i)
     rhs_[i] = c_over_dt_[i] * state_[i] + power[i];
-  step_lu_.solve_in_place(rhs_);
+  if (step_ldlt_)
+    step_ldlt_->solve_in_place(rhs_);
+  else
+    step_lu_->solve_in_place(rhs_);
   std::swap(state_, rhs_);
 }
 
 void TransientSolver::step_die_power(const std::vector<double>& die_power) {
-  step(net_->expand_die_power(die_power));
+  step(expand_into(*net_, die_power, full_power_));
 }
 
 double TransientSolver::run_die_power(const std::vector<double>& die_power,

@@ -1,6 +1,6 @@
 // Thermal solvers over an RcNetwork.
 //
-// SteadyStateSolver:  G * T = P          (one LU factorization, many solves)
+// SteadyStateSolver:  G * T = P          (one factorization, many solves)
 // TransientSolver:    C dT/dt = P - G T  via backward Euler,
 //                     (C/dt + G) T_{k+1} = C/dt * T_k + P_{k+1}
 //
@@ -9,6 +9,13 @@
 // ~14 s time constant, i.e. the ODE is stiff, and an explicit method at the
 // microsecond steps the migration study needs would be dominated by
 // stability, not accuracy. The step matrix is factored once per dt.
+//
+// Both G and (C/dt + G) are symmetric positive definite, so the default
+// backend is the sparse LDL^T of util/sparse.hpp — O(n * b^2) factor and
+// O(nnz(L)) solve against the dense LU's O(n^3) / O(n^2). Small networks
+// (and anything run with RENOC_DENSE_SOLVE=1 in the environment, or an
+// explicit SolverBackend::kDense) keep the original dense path, which also
+// serves as the cross-check oracle in tests.
 #pragma once
 
 #include <memory>
@@ -16,13 +23,27 @@
 
 #include "thermal/rc_network.hpp"
 #include "util/matrix.hpp"
+#include "util/sparse.hpp"
 
 namespace renoc {
+
+/// Which factorization a thermal solver uses.
+enum class SolverBackend {
+  kAuto,    ///< sparse LDL^T at >= kDenseNodeCutoff nodes, dense LU below;
+            ///< RENOC_DENSE_SOLVE=1 in the environment forces dense
+  kDense,   ///< dense LU with partial pivoting (the original path)
+  kSparse,  ///< sparse LDL^T with fill-reducing ordering
+};
+
+/// Node count below which kAuto prefers the dense LU: at a few dozen nodes
+/// the dense factor fits in cache and the sparse bookkeeping buys nothing.
+inline constexpr int kDenseNodeCutoff = 64;
 
 /// Direct solver for steady-state temperature rises.
 class SteadyStateSolver {
  public:
-  explicit SteadyStateSolver(const RcNetwork& net);
+  explicit SteadyStateSolver(const RcNetwork& net,
+                             SolverBackend backend = SolverBackend::kAuto);
 
   /// Full-node temperature rises for a full-node power vector.
   std::vector<double> solve(const std::vector<double>& power) const;
@@ -34,18 +55,24 @@ class SteadyStateSolver {
   /// Peak absolute die temperature (ambient + peak rise) for a die power map.
   double peak_die_temperature(const std::vector<double>& die_power) const;
 
+  /// True when the sparse backend was selected.
+  bool uses_sparse() const { return ldlt_ != nullptr; }
+
   const RcNetwork& network() const { return *net_; }
 
  private:
   const RcNetwork* net_;
-  LuFactorization lu_;
+  std::unique_ptr<LuFactorization> lu_;  // exactly one of lu_/ldlt_ is set
+  std::unique_ptr<SparseLdlt> ldlt_;
+  mutable std::vector<double> full_power_;  // die-power expansion scratch
 };
 
 /// Fixed-step backward-Euler transient integrator.
 class TransientSolver {
  public:
   /// Prefactors (C/dt + G) for time step `dt` (seconds).
-  TransientSolver(const RcNetwork& net, double dt);
+  TransientSolver(const RcNetwork& net, double dt,
+                  SolverBackend backend = SolverBackend::kAuto);
 
   double dt() const { return dt_; }
 
@@ -67,15 +94,20 @@ class TransientSolver {
   /// peak die rise observed at step boundaries.
   double run_die_power(const std::vector<double>& die_power, int steps);
 
+  /// True when the sparse backend was selected.
+  bool uses_sparse() const { return step_ldlt_ != nullptr; }
+
   const RcNetwork& network() const { return *net_; }
 
  private:
   const RcNetwork* net_;
   double dt_;
-  LuFactorization step_lu_;       // LU of (C/dt + G)
+  std::unique_ptr<LuFactorization> step_lu_;  // LU of (C/dt + G), or
+  std::unique_ptr<SparseLdlt> step_ldlt_;     // ... its sparse LDL^T
   std::vector<double> c_over_dt_;  // diagonal C/dt
   std::vector<double> state_;      // temperature rises
   std::vector<double> rhs_;        // scratch
+  std::vector<double> full_power_;  // die-power expansion scratch
 };
 
 }  // namespace renoc

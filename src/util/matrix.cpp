@@ -1,5 +1,6 @@
 #include "util/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -115,8 +116,9 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
 
 void LuFactorization::solve_in_place(std::vector<double>& x) const {
   RENOC_CHECK(x.size() == n_);
-  // Apply the row permutation.
-  std::vector<double> y(n_);
+  // Apply the row permutation into the reusable scratch buffer.
+  scratch_.resize(n_);
+  std::vector<double>& y = scratch_;
   for (std::size_t i = 0; i < n_; ++i) y[i] = x[perm_[i]];
   // Forward substitution with unit-diagonal L.
   for (std::size_t i = 0; i < n_; ++i) {
@@ -130,7 +132,7 @@ void LuFactorization::solve_in_place(std::vector<double>& x) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * y[j];
     y[ii] = acc / lu_(ii, ii);
   }
-  x = std::move(y);
+  std::copy(y.begin(), y.end(), x.begin());
 }
 
 double LuFactorization::determinant() const {

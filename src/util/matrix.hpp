@@ -73,7 +73,10 @@ class LuFactorization {
   /// Solves A x = b. Requires b.size() == n().
   std::vector<double> solve(const std::vector<double>& b) const;
 
-  /// Solves in place (x is b on entry, solution on exit).
+  /// Solves in place (x is b on entry, solution on exit). Reuses an
+  /// internal scratch buffer for the row permutation, so no allocation
+  /// happens after the first call; not thread-safe, like the rest of the
+  /// library.
   void solve_in_place(std::vector<double>& x) const;
 
   std::size_t n() const { return n_; }
@@ -86,6 +89,7 @@ class LuFactorization {
   Matrix lu_;                  // combined L (unit diagonal) and U
   std::vector<std::size_t> perm_;  // row permutation
   int perm_sign_ = 1;
+  mutable std::vector<double> scratch_;  // permuted rhs, reused per solve
 };
 
 }  // namespace renoc

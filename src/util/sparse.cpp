@@ -1,0 +1,300 @@
+#include "util/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace renoc {
+namespace {
+
+std::size_t uz(int i) { return static_cast<std::size_t>(i); }
+
+}  // namespace
+
+SparseMatrix SparseMatrix::from_triplets(
+    int rows, int cols, const std::vector<Triplet>& triplets) {
+  RENOC_CHECK_MSG(rows >= 0 && cols >= 0,
+                  "bad sparse shape " << rows << "x" << cols);
+  for (const Triplet& t : triplets)
+    RENOC_CHECK_MSG(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+                    "triplet (" << t.row << "," << t.col << ") out of "
+                                << rows << "x" << cols);
+
+  std::vector<Triplet> sorted = triplets;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(uz(rows) + 1, 0);
+  m.col_idx_.reserve(sorted.size());
+  m.vals_.reserve(sorted.size());
+
+  // Merge duplicates in one sorted pass.
+  for (std::size_t i = 0; i < sorted.size();) {
+    const int r = sorted[i].row;
+    const int c = sorted[i].col;
+    double sum = 0.0;
+    for (; i < sorted.size() && sorted[i].row == r && sorted[i].col == c; ++i)
+      sum += sorted[i].value;
+    m.col_idx_.push_back(c);
+    m.vals_.push_back(sum);
+    m.row_ptr_[uz(r) + 1] = static_cast<int>(m.col_idx_.size());
+  }
+  // Rows with no entries inherit the previous row's end pointer.
+  for (std::size_t r = 1; r < m.row_ptr_.size(); ++r)
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  return m;
+}
+
+double SparseMatrix::at(int r, int c) const {
+  RENOC_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "index (" << r << "," << c << ") out of " << rows_ << "x"
+                            << cols_);
+  const auto begin = col_idx_.begin() + row_ptr_[uz(r)];
+  const auto end = col_idx_.begin() + row_ptr_[uz(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+std::vector<double> SparseMatrix::mul(const std::vector<double>& x) const {
+  std::vector<double> y(uz(rows_), 0.0);
+  mul_into(x, y);
+  return y;
+}
+
+void SparseMatrix::mul_into(const std::vector<double>& x,
+                            std::vector<double>& y) const {
+  RENOC_CHECK(static_cast<int>(x.size()) == cols_);
+  y.assign(uz(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int p = row_ptr_[uz(r)]; p < row_ptr_[uz(r) + 1]; ++p)
+      acc += vals_[uz(p)] * x[uz(col_idx_[uz(p)])];
+    y[uz(r)] = acc;
+  }
+}
+
+SparseMatrix SparseMatrix::plus_diagonal(const std::vector<double>& d) const {
+  RENOC_CHECK(rows_ == cols_);
+  RENOC_CHECK(static_cast<int>(d.size()) == rows_);
+  SparseMatrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    bool found = false;
+    for (int p = row_ptr_[uz(r)]; p < row_ptr_[uz(r) + 1]; ++p) {
+      if (col_idx_[uz(p)] == r) {
+        out.vals_[uz(p)] += d[uz(r)];
+        found = true;
+        break;
+      }
+    }
+    RENOC_CHECK_MSG(found, "row " << r << " has no stored diagonal entry");
+  }
+  return out;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(uz(rows_), uz(cols_));
+  for (int r = 0; r < rows_; ++r)
+    for (int p = row_ptr_[uz(r)]; p < row_ptr_[uz(r) + 1]; ++p)
+      m(uz(r), uz(col_idx_[uz(p)])) += vals_[uz(p)];
+  return m;
+}
+
+bool SparseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int r = 0; r < rows_; ++r)
+    for (int p = row_ptr_[uz(r)]; p < row_ptr_[uz(r) + 1]; ++p)
+      if (std::fabs(vals_[uz(p)] - at(col_idx_[uz(p)], r)) > tol)
+        return false;
+  return true;
+}
+
+std::vector<int> bandwidth_reducing_ordering(const SparseMatrix& a,
+                                             int hub_degree) {
+  RENOC_CHECK(a.rows() == a.cols());
+  RENOC_CHECK(hub_degree >= 0);
+  const int n = a.rows();
+  std::vector<int> degree(uz(n), 0);
+  for (int r = 0; r < n; ++r) {
+    for (int p = a.row_ptr()[uz(r)]; p < a.row_ptr()[uz(r) + 1]; ++p)
+      if (a.col_idx()[uz(p)] != r) ++degree[uz(r)];
+  }
+
+  std::vector<int> perm;
+  perm.reserve(uz(n));
+  std::vector<char> placed(uz(n), 0);
+  const auto is_hub = [&](int v) { return degree[uz(v)] > hub_degree; };
+
+  // Cuthill-McKee over the non-hub subgraph: BFS from a minimum-degree
+  // unvisited node, expanding neighbours in ascending-degree order. Hubs
+  // are skipped here (they would collapse the level structure — every grid
+  // node is within a couple of hops of the sink center).
+  std::vector<int> frontier;
+  std::vector<int> nbrs;
+  for (;;) {
+    int start = -1;
+    for (int v = 0; v < n; ++v)
+      if (!placed[uz(v)] && !is_hub(v) &&
+          (start == -1 || degree[uz(v)] < degree[uz(start)]))
+        start = v;
+    if (start == -1) break;
+    placed[uz(start)] = 1;
+    frontier.assign(1, start);
+    std::size_t head = 0;
+    while (head < frontier.size()) {
+      const int v = frontier[head++];
+      perm.push_back(v);
+      nbrs.clear();
+      for (int p = a.row_ptr()[uz(v)]; p < a.row_ptr()[uz(v) + 1]; ++p) {
+        const int w = a.col_idx()[uz(p)];
+        if (w == v || placed[uz(w)] || is_hub(w)) continue;
+        placed[uz(w)] = 1;
+        nbrs.push_back(w);
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](int x, int y) {
+        return degree[uz(x)] != degree[uz(y)] ? degree[uz(x)] < degree[uz(y)]
+                                              : x < y;
+      });
+      frontier.insert(frontier.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  std::reverse(perm.begin(), perm.end());  // Cuthill-McKee -> reverse CM
+
+  // Hubs last, smallest degree first, so the densest row is eliminated at
+  // the very end where its fill is already confined.
+  std::vector<int> hubs;
+  for (int v = 0; v < n; ++v)
+    if (!placed[uz(v)]) hubs.push_back(v);
+  std::sort(hubs.begin(), hubs.end(), [&](int x, int y) {
+    return degree[uz(x)] != degree[uz(y)] ? degree[uz(x)] < degree[uz(y)]
+                                          : x < y;
+  });
+  perm.insert(perm.end(), hubs.begin(), hubs.end());
+  RENOC_CHECK(static_cast<int>(perm.size()) == n);
+  return perm;
+}
+
+SparseLdlt::SparseLdlt(const SparseMatrix& a, std::vector<int> perm)
+    : n_(a.rows()) {
+  RENOC_CHECK_MSG(a.rows() == a.cols(), "LDL^T requires a square matrix");
+  if (perm.empty()) perm = bandwidth_reducing_ordering(a);
+  RENOC_CHECK_MSG(static_cast<int>(perm.size()) == n_,
+                  "permutation size " << perm.size() << " != n " << n_);
+  perm_ = std::move(perm);
+  iperm_.assign(uz(n_), -1);
+  for (int k = 0; k < n_; ++k) {
+    const int v = perm_[uz(k)];
+    RENOC_CHECK_MSG(v >= 0 && v < n_ && iperm_[uz(v)] == -1,
+                    "perm is not a permutation of 0.." << n_ - 1);
+    iperm_[uz(v)] = k;
+  }
+
+  // --- Symbolic pass: elimination tree and per-column fill counts --------
+  // Up-looking LDL^T (Davis, "Direct Methods for Sparse Linear Systems",
+  // the LDL kernel): the pattern of row k of L is found by walking each
+  // upper-triangular entry of row k of PAP^T up the elimination tree.
+  const std::vector<int>& ap = a.row_ptr();
+  const std::vector<int>& ai = a.col_idx();
+  const std::vector<double>& ax = a.values();
+
+  std::vector<int> parent(uz(n_), -1);
+  std::vector<int> lnz(uz(n_), 0);
+  std::vector<int> flag(uz(n_), -1);
+  for (int k = 0; k < n_; ++k) {
+    flag[uz(k)] = k;
+    const int orig = perm_[uz(k)];
+    for (int p = ap[uz(orig)]; p < ap[uz(orig) + 1]; ++p) {
+      int i = iperm_[uz(ai[uz(p)])];
+      if (i >= k) continue;  // strictly upper entries of the permuted row
+      for (; flag[uz(i)] != k; i = parent[uz(i)]) {
+        if (parent[uz(i)] == -1) parent[uz(i)] = k;
+        ++lnz[uz(i)];
+        flag[uz(i)] = k;
+      }
+    }
+  }
+
+  lp_.assign(uz(n_) + 1, 0);
+  for (int k = 0; k < n_; ++k) lp_[uz(k) + 1] = lp_[uz(k)] + lnz[uz(k)];
+  li_.assign(uz(lp_[uz(n_)]), 0);
+  lx_.assign(uz(lp_[uz(n_)]), 0.0);
+  d_.assign(uz(n_), 0.0);
+
+  // --- Numeric pass ------------------------------------------------------
+  std::vector<double> y(uz(n_), 0.0);
+  std::vector<int> pattern(uz(n_), 0);
+  std::vector<int> path(uz(n_), 0);
+  std::vector<int> lfill(uz(n_), 0);  // entries written into each column
+  std::fill(flag.begin(), flag.end(), -1);
+  for (int k = 0; k < n_; ++k) {
+    int top = n_;
+    flag[uz(k)] = k;
+    const int orig = perm_[uz(k)];
+    for (int p = ap[uz(orig)]; p < ap[uz(orig) + 1]; ++p) {
+      const int j = iperm_[uz(ai[uz(p)])];
+      if (j > k) continue;
+      y[uz(j)] += ax[uz(p)];
+      int len = 0;
+      for (int i = j; flag[uz(i)] != k; i = parent[uz(i)]) {
+        path[uz(len++)] = i;
+        flag[uz(i)] = k;
+      }
+      while (len > 0) pattern[uz(--top)] = path[uz(--len)];
+    }
+    d_[uz(k)] = y[uz(k)];
+    y[uz(k)] = 0.0;
+    for (int p = top; p < n_; ++p) {
+      const int i = pattern[uz(p)];
+      const double yi = y[uz(i)];
+      y[uz(i)] = 0.0;
+      const int pstart = lp_[uz(i)];
+      for (int q = pstart; q < pstart + lfill[uz(i)]; ++q)
+        y[uz(li_[uz(q)])] -= lx_[uz(q)] * yi;
+      const double l_ki = yi / d_[uz(i)];
+      d_[uz(k)] -= l_ki * yi;
+      li_[uz(pstart + lfill[uz(i)])] = k;
+      lx_[uz(pstart + lfill[uz(i)])] = l_ki;
+      ++lfill[uz(i)];
+    }
+    RENOC_CHECK_MSG(d_[uz(k)] > 0.0,
+                    "matrix is singular or not positive definite (pivot "
+                        << d_[uz(k)] << " at step " << k << ")");
+  }
+}
+
+std::vector<double> SparseLdlt::solve(const std::vector<double>& b) const {
+  std::vector<double> x(b);
+  solve_in_place(x);
+  return x;
+}
+
+void SparseLdlt::solve_in_place(std::vector<double>& x) const {
+  RENOC_CHECK(static_cast<int>(x.size()) == n_);
+  scratch_.resize(uz(n_));
+  std::vector<double>& y = scratch_;
+  for (int k = 0; k < n_; ++k) y[uz(k)] = x[uz(perm_[uz(k)])];
+  // L z = y (unit-diagonal, by columns).
+  for (int k = 0; k < n_; ++k) {
+    const double yk = y[uz(k)];
+    for (int p = lp_[uz(k)]; p < lp_[uz(k) + 1]; ++p)
+      y[uz(li_[uz(p)])] -= lx_[uz(p)] * yk;
+  }
+  for (int k = 0; k < n_; ++k) y[uz(k)] /= d_[uz(k)];
+  // L^T w = z (by columns of L, i.e. rows of L^T, in reverse).
+  for (int k = n_ - 1; k >= 0; --k) {
+    double acc = y[uz(k)];
+    for (int p = lp_[uz(k)]; p < lp_[uz(k) + 1]; ++p)
+      acc -= lx_[uz(p)] * y[uz(li_[uz(p)])];
+    y[uz(k)] = acc;
+  }
+  for (int k = 0; k < n_; ++k) x[uz(perm_[uz(k)])] = y[uz(k)];
+}
+
+}  // namespace renoc

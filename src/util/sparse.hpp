@@ -1,0 +1,127 @@
+// Sparse linear algebra for the thermal RC solver.
+//
+// The HotSpot-style networks built by build_rc_network() are structurally
+// sparse: every grid node couples to at most seven neighbours (four lateral,
+// up to two vertical, one periphery), and only a handful of package nodes
+// (sink center, trapezoids, convection) act as high-degree hubs. A dense LU
+// over such a matrix is O(n^3) and dominates wall-clock from a few hundred
+// nodes on; the CSR + sparse-LDL^T pair below brings factor and solve down
+// to roughly O(n * b^2) and O(nnz(L)) where b is the reordered bandwidth of
+// the grid part (a few grid rows), independent of how the hubs fan out.
+//
+// Assembly is triplet-based (duplicate entries sum, matching the stamping
+// idiom of circuit assembly), the factorization is an up-looking LDL^T with
+// an exact elimination-tree symbolic pass, and the default ordering is a
+// reverse Cuthill-McKee pass over the low-degree grid nodes with the hub
+// nodes pushed last so their dense rows cannot poison the band.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace renoc {
+
+/// One (row, col, value) contribution to a sparse matrix. Duplicate
+/// coordinates are summed during assembly, so callers can stamp element
+/// contributions independently.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// Immutable sparse matrix in compressed sparse row (CSR) form.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Assembles a rows x cols matrix from triplets, summing duplicates.
+  /// Entries that sum to zero are kept (they are structural nonzeros).
+  static SparseMatrix from_triplets(int rows, int cols,
+                                    const std::vector<Triplet>& triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Number of stored entries.
+  int nnz() const { return static_cast<int>(col_idx_.size()); }
+
+  /// Value at (r, c); zero when no entry is stored there.
+  double at(int r, int c) const;
+
+  /// y = this * x. Requires x.size() == cols().
+  std::vector<double> mul(const std::vector<double>& x) const;
+
+  /// y = this * x into a caller-provided buffer (no allocation).
+  void mul_into(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Returns a copy with d[i] added to diagonal entry (i, i). Every
+  /// diagonal entry must already be stored (true for any conductance or
+  /// step matrix assembled by stamping).
+  SparseMatrix plus_diagonal(const std::vector<double>& d) const;
+
+  /// Densifies (tests and the dense cross-check path).
+  Matrix to_dense() const;
+
+  /// True if the sparsity pattern and values are symmetric to within tol.
+  bool is_symmetric(double tol) const;
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return vals_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_ptr_;   // size rows_ + 1
+  std::vector<int> col_idx_;   // size nnz, ascending within each row
+  std::vector<double> vals_;   // size nnz
+};
+
+/// Fill-reducing ordering for stack-structured RC networks: reverse
+/// Cuthill-McKee over the nodes of degree <= `hub_degree`, then the hub
+/// nodes (degree > hub_degree) appended last in ascending-degree order.
+/// Returns perm with perm[k] = original index eliminated at step k.
+///
+/// Grid nodes in the HotSpot stack have degree <= 8, while the sink center
+/// couples to every under-die spreader node; eliminating such hubs last
+/// keeps the factor's fill confined to the (small) trailing rows.
+std::vector<int> bandwidth_reducing_ordering(const SparseMatrix& a,
+                                             int hub_degree = 8);
+
+/// Sparse LDL^T factorization of a symmetric positive-definite matrix:
+/// P A P^T = L D L^T with unit-diagonal L. Factor once, solve many times.
+class SparseLdlt {
+ public:
+  /// Factors `a` using `perm` (empty = bandwidth_reducing_ordering(a)).
+  /// Throws renoc::CheckError if `a` is not square, `perm` is not a valid
+  /// permutation, or a pivot is not strictly positive (matrix singular or
+  /// not positive definite). Only the upper triangle of `a` in the
+  /// permuted order is read; `a` is assumed symmetric.
+  explicit SparseLdlt(const SparseMatrix& a, std::vector<int> perm = {});
+
+  /// Solves A x = b. Requires b.size() == n().
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves in place (x is b on entry, the solution on exit). Uses an
+  /// internal scratch buffer, so it performs no allocation after the first
+  /// call; like the rest of the library this is not thread-safe.
+  void solve_in_place(std::vector<double>& x) const;
+
+  int n() const { return n_; }
+  /// Stored entries of L strictly below the diagonal (the fill).
+  int factor_nnz() const { return static_cast<int>(li_.size()); }
+
+ private:
+  int n_ = 0;
+  std::vector<int> lp_;      // column pointers of L (size n_ + 1)
+  std::vector<int> li_;      // row indices of L (strictly lower part)
+  std::vector<double> lx_;   // values of L
+  std::vector<double> d_;    // diagonal of D
+  std::vector<int> perm_;    // perm_[k] = original index at position k
+  std::vector<int> iperm_;   // inverse permutation
+  mutable std::vector<double> scratch_;  // permuted rhs workspace
+};
+
+}  // namespace renoc

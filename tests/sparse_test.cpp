@@ -1,0 +1,251 @@
+// Unit and property tests for the sparse module: CSR assembly, SpMV,
+// the fill-reducing ordering, and the sparse LDL^T factorization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/sparse.hpp"
+
+namespace renoc {
+namespace {
+
+// --- CSR assembly ------------------------------------------------------
+
+TEST(SparseMatrixTest, TripletAssemblySumsDuplicates) {
+  // The stamping idiom pushes the same coordinate several times.
+  const std::vector<Triplet> trips{
+      {0, 0, 1.0}, {0, 0, 2.5}, {1, 2, -1.0}, {0, 1, 4.0}, {1, 2, 0.5}};
+  const SparseMatrix m = SparseMatrix::from_triplets(2, 3, trips);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);  // (0,0), (0,1), (1,2) after merging
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);  // unstored entry reads as zero
+}
+
+TEST(SparseMatrixTest, EmptyRowsAndMatrix) {
+  const SparseMatrix empty = SparseMatrix::from_triplets(3, 3, {});
+  EXPECT_EQ(empty.nnz(), 0);
+  EXPECT_DOUBLE_EQ(empty.at(1, 1), 0.0);
+  // Row 1 has no entries; row_ptr must still be monotone.
+  const SparseMatrix m =
+      SparseMatrix::from_triplets(3, 3, {{0, 0, 1.0}, {2, 2, 2.0}});
+  EXPECT_EQ(m.row_ptr()[1], m.row_ptr()[2]);
+  const std::vector<double> y = m.mul({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(SparseMatrixTest, OutOfRangeTripletRejected) {
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, {{2, 0, 1.0}}), CheckError);
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, {{0, -1, 1.0}}), CheckError);
+}
+
+TEST(SparseMatrixTest, SpMVMatchesDenseOnRandomMatrix) {
+  Rng rng(1234);
+  const int n = 37;
+  std::vector<Triplet> trips;
+  const auto un = static_cast<std::uint64_t>(n);
+  for (int k = 0; k < 300; ++k)
+    trips.push_back({static_cast<int>(rng.next_below(un)),
+                     static_cast<int>(rng.next_below(un)),
+                     rng.next_double() * 2 - 1});
+  const SparseMatrix m =
+      SparseMatrix::from_triplets(n, n, trips);
+  const Matrix dense = m.to_dense();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double() * 10 - 5;
+  const std::vector<double> ys = m.mul(x);
+  const std::vector<double> yd = dense.mul(x);
+  for (std::size_t i = 0; i < ys.size(); ++i)
+    EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(SparseMatrixTest, MulIntoReusesBuffer) {
+  const SparseMatrix m =
+      SparseMatrix::from_triplets(2, 2, {{0, 0, 2.0}, {1, 1, 3.0}});
+  std::vector<double> y;
+  m.mul_into({1.0, 1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  m.mul_into({2.0, 2.0}, y);  // stale contents must not leak through
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(SparseMatrixTest, PlusDiagonalAddsAndValidates) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {1, 1, 2.0}, {0, 1, -1.0}});
+  const SparseMatrix shifted = m.plus_diagonal({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(shifted.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(shifted.at(1, 1), 22.0);
+  EXPECT_DOUBLE_EQ(shifted.at(0, 1), -1.0);
+  // A missing structural diagonal is a caller bug, not a silent no-op.
+  const SparseMatrix no_diag =
+      SparseMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_THROW(no_diag.plus_diagonal({1.0, 1.0}), CheckError);
+}
+
+TEST(SparseMatrixTest, SymmetryDetection) {
+  const SparseMatrix sym = SparseMatrix::from_triplets(
+      2, 2, {{0, 1, 3.0}, {1, 0, 3.0}, {0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_TRUE(sym.is_symmetric(1e-12));
+  const SparseMatrix asym = SparseMatrix::from_triplets(
+      2, 2, {{0, 1, 3.0}, {1, 0, 2.0}, {0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_FALSE(asym.is_symmetric(1e-12));
+  EXPECT_TRUE(asym.is_symmetric(1.5));
+}
+
+// --- Ordering -----------------------------------------------------------
+
+/// Grid Laplacian plus a hub node coupled to every grid node — the
+/// structural skeleton of the RC networks (sink center = hub).
+SparseMatrix grid_with_hub(int side) {
+  const int n = side * side + 1;
+  const int hub = side * side;
+  std::vector<Triplet> trips;
+  const auto stamp = [&](int a, int b) {
+    trips.push_back({a, a, 1.0});
+    trips.push_back({b, b, 1.0});
+    trips.push_back({a, b, -1.0});
+    trips.push_back({b, a, -1.0});
+  };
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const int i = y * side + x;
+      if (x + 1 < side) stamp(i, i + 1);
+      if (y + 1 < side) stamp(i, i + side);
+      stamp(i, hub);
+    }
+  }
+  for (int i = 0; i < n; ++i) trips.push_back({i, i, 1.0});  // make it PD
+  return SparseMatrix::from_triplets(n, n, trips);
+}
+
+TEST(OrderingTest, IsPermutationWithHubLast) {
+  const SparseMatrix a = grid_with_hub(6);
+  const std::vector<int> perm = bandwidth_reducing_ordering(a);
+  ASSERT_EQ(perm.size(), 37u);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 37; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // The hub (degree 36) must be eliminated last.
+  EXPECT_EQ(perm.back(), 36);
+}
+
+TEST(OrderingTest, HubLastBoundsFill) {
+  // With the hub last, fill stays near the grid band; a natural ordering
+  // that eliminates the hub early would couple everything to everything.
+  const SparseMatrix a = grid_with_hub(8);
+  const SparseLdlt chol(a);
+  // Loose sanity bound: fill should be O(n * side), far below dense n^2/2.
+  EXPECT_LT(chol.factor_nnz(), 65 * 65 / 4);
+}
+
+// --- LDL^T factorization ------------------------------------------------
+
+TEST(SparseLdltTest, SolvesSmallSpdSystem) {
+  // [4 1; 1 3] x = b, hand-checkable.
+  const SparseMatrix a = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 4.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 3.0}});
+  const SparseLdlt chol(a);
+  const std::vector<double> x = chol.solve({1.0, 2.0});
+  const std::vector<double> back = a.mul(x);
+  EXPECT_NEAR(back[0], 1.0, 1e-12);
+  EXPECT_NEAR(back[1], 2.0, 1e-12);
+}
+
+TEST(SparseLdltTest, SingularMatrixRejected) {
+  // Rank-1 symmetric PSD matrix: pivot hits exactly zero.
+  const SparseMatrix a = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(SparseLdlt{a}, CheckError);
+  // All-zero matrix.
+  const SparseMatrix z = SparseMatrix::from_triplets(3, 3, {});
+  EXPECT_THROW(SparseLdlt{z}, CheckError);
+}
+
+TEST(SparseLdltTest, IndefiniteMatrixRejected) {
+  const SparseMatrix a = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 1.0}});
+  EXPECT_THROW(SparseLdlt{a}, CheckError);
+}
+
+TEST(SparseLdltTest, NonSquareAndBadPermRejected) {
+  const SparseMatrix rect = SparseMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_THROW(SparseLdlt{rect}, CheckError);
+  const SparseMatrix ok =
+      SparseMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(SparseLdlt(ok, {0, 0}), CheckError);   // not a permutation
+  EXPECT_THROW(SparseLdlt(ok, {0, 1, 2}), CheckError);  // wrong size
+}
+
+TEST(SparseLdltTest, SolveInPlaceMatchesSolveRepeatedly) {
+  const SparseMatrix a = grid_with_hub(4);
+  const SparseLdlt chol(a);
+  // The internal scratch is reused across calls; results must not drift.
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<double> b(17, 0.0);
+    b[static_cast<std::size_t>(rep)] = 1.0 + rep;
+    const std::vector<double> x = chol.solve(b);
+    std::vector<double> y = b;
+    chol.solve_in_place(y);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
+  }
+}
+
+// Property sweep: random sparse SPD systems match the dense LU to high
+// accuracy, with and without the default fill-reducing ordering.
+class SparseLdltPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLdltPropertyTest, MatchesDenseLuOnRandomSpdSystems) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 104729);
+  // Random symmetric pattern, diagonally dominant values -> SPD.
+  std::vector<Triplet> trips;
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  const auto un = static_cast<std::uint64_t>(n);
+  for (int k = 0; k < 4 * n; ++k) {
+    const int r = static_cast<int>(rng.next_below(un));
+    const int c = static_cast<int>(rng.next_below(un));
+    if (r == c) continue;
+    const double v = rng.next_double() * 2 - 1;
+    trips.push_back({r, c, v});
+    trips.push_back({c, r, v});
+    row_sum[static_cast<std::size_t>(r)] += std::fabs(v);
+    row_sum[static_cast<std::size_t>(c)] += std::fabs(v);
+  }
+  for (int i = 0; i < n; ++i)
+    trips.push_back({i, i, row_sum[static_cast<std::size_t>(i)] + 1.0});
+  const SparseMatrix a = SparseMatrix::from_triplets(n, n, trips);
+
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.next_double() * 10 - 5;
+  const std::vector<double> b = a.mul(x_true);
+
+  const LuFactorization lu(a.to_dense());
+  const std::vector<double> x_lu = lu.solve(b);
+  const SparseLdlt default_order(a);
+  const std::vector<double> x_default = default_order.solve(b);
+  std::vector<int> natural(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) natural[static_cast<std::size_t>(i)] = i;
+  const SparseLdlt natural_order(a, natural);
+  const std::vector<double> x_natural = natural_order.solve(b);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    EXPECT_NEAR(x_default[u], x_true[u], 1e-8);
+    EXPECT_NEAR(x_natural[u], x_true[u], 1e-8);
+    EXPECT_NEAR(x_default[u], x_lu[u], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseLdltPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace renoc

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "floorplan/floorplan.hpp"
 #include "thermal/grid_refine.hpp"
@@ -14,6 +16,7 @@
 #include "thermal/rc_network.hpp"
 #include "thermal/solver.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace renoc {
 namespace {
@@ -339,6 +342,122 @@ TEST(GridRefineTest, BadRefineRejected) {
   EXPECT_THROW(RefinedThermalModel(GridDim{4, 4}, date05_tile_area(),
                                    date05_hotspot_params(), 9),
                CheckError);
+}
+
+TEST(GridRefineTest, RefineZeroFailsTheRefineCheckItself) {
+  // Regression: refine was used (divide by refine^2, build the fine grid)
+  // in the member-init list before the range check in the constructor body
+  // ran, so refine=0 died on downstream floorplan checks instead of the
+  // refine validation. The thrown message must now name the refine factor.
+  try {
+    RefinedThermalModel model(GridDim{4, 4}, date05_tile_area(),
+                              date05_hotspot_params(), 0);
+    FAIL() << "refine=0 must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("refine factor 0"),
+              std::string::npos)
+        << "unexpected failure path: " << e.what();
+  }
+  try {
+    RefinedThermalModel model(GridDim{4, 4}, date05_tile_area(),
+                              date05_hotspot_params(), -3);
+    FAIL() << "refine=-3 must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("refine factor -3"),
+              std::string::npos)
+        << "unexpected failure path: " << e.what();
+  }
+}
+
+TEST(GridRefineTest, PeakTileTemperatureReusesCachedSolver) {
+  const RefinedThermalModel model(GridDim{4, 4}, date05_tile_area(),
+                                  date05_hotspot_params(), 2);
+  const SteadyStateSolver* first = &model.steady_solver();
+  std::vector<double> power(16, 2.0);
+  power[5] = 7.0;
+  const double t1 = model.peak_tile_temperature(power);
+  const double t2 = model.peak_tile_temperature(power);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  // Repeated queries must hit the same factorization, not rebuild it.
+  EXPECT_EQ(first, &model.steady_solver());
+}
+
+// --- Dense-vs-sparse agreement suite -----------------------------------
+//
+// The same network solved by both backends must agree to 1e-8 on steady
+// rises and across a transient run; the dense LU is the oracle for the
+// sparse LDL^T that kAuto selects at production sizes.
+
+TEST(DenseSparseAgreementTest, BackendSelection) {
+  const RcNetwork small = make_net(4);   // 58 nodes < cutoff
+  const RcNetwork large = make_net(6);   // 118 nodes > cutoff
+  EXPECT_FALSE(SteadyStateSolver(small).uses_sparse());
+  EXPECT_TRUE(SteadyStateSolver(large).uses_sparse());
+  EXPECT_TRUE(SteadyStateSolver(small, SolverBackend::kSparse).uses_sparse());
+  EXPECT_FALSE(SteadyStateSolver(large, SolverBackend::kDense).uses_sparse());
+  EXPECT_FALSE(TransientSolver(small, 1e-4).uses_sparse());
+  EXPECT_TRUE(TransientSolver(large, 1e-4).uses_sparse());
+}
+
+TEST(DenseSparseAgreementTest, EnvVarForcesDensePath) {
+  const RcNetwork large = make_net(6);
+  ::setenv("RENOC_DENSE_SOLVE", "1", 1);
+  EXPECT_FALSE(SteadyStateSolver(large).uses_sparse());
+  EXPECT_FALSE(TransientSolver(large, 1e-4).uses_sparse());
+  ::setenv("RENOC_DENSE_SOLVE", "0", 1);  // "0" and empty mean unset
+  EXPECT_TRUE(SteadyStateSolver(large).uses_sparse());
+  ::unsetenv("RENOC_DENSE_SOLVE");
+  EXPECT_TRUE(SteadyStateSolver(large).uses_sparse());
+  // An explicit backend always wins over the environment.
+  ::setenv("RENOC_DENSE_SOLVE", "1", 1);
+  EXPECT_TRUE(SteadyStateSolver(large, SolverBackend::kSparse).uses_sparse());
+  ::unsetenv("RENOC_DENSE_SOLVE");
+}
+
+TEST(DenseSparseAgreementTest, SteadyStateMatchesOnRandomPowers) {
+  const RcNetwork net = make_net(6);
+  const SteadyStateSolver dense(net, SolverBackend::kDense);
+  const SteadyStateSolver sparse(net, SolverBackend::kSparse);
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> power(36);
+    for (auto& p : power) p = rng.next_double() * 8.0;
+    const std::vector<double> rd = dense.solve_die_power(power);
+    const std::vector<double> rs = sparse.solve_die_power(power);
+    ASSERT_EQ(rd.size(), rs.size());
+    for (std::size_t i = 0; i < rd.size(); ++i)
+      EXPECT_NEAR(rd[i], rs[i], 1e-8) << "node " << i << " trial " << trial;
+    EXPECT_NEAR(dense.peak_die_temperature(power),
+                sparse.peak_die_temperature(power), 1e-8);
+  }
+}
+
+TEST(DenseSparseAgreementTest, TransientMatchesOverManySteps) {
+  const RcNetwork net = make_net(6);
+  TransientSolver dense(net, 5e-6, SolverBackend::kDense);
+  TransientSolver sparse(net, 5e-6, SolverBackend::kSparse);
+  Rng rng(7);
+  std::vector<double> power(36);
+  for (auto& p : power) p = rng.next_double() * 6.0;
+  for (int step = 0; step < 200; ++step) {
+    dense.step_die_power(power);
+    sparse.step_die_power(power);
+  }
+  for (int i = 0; i < net.node_count(); ++i)
+    EXPECT_NEAR(dense.state()[static_cast<std::size_t>(i)],
+                sparse.state()[static_cast<std::size_t>(i)], 1e-8)
+        << net.node_name(i);
+}
+
+TEST(DenseSparseAgreementTest, SparseConductanceMatchesDenseView) {
+  const RcNetwork net = make_net(5);
+  EXPECT_TRUE(net.conductance_sparse().is_symmetric(1e-12));
+  const Matrix& dense = net.conductance();
+  for (int r = 0; r < net.node_count(); ++r)
+    for (int c = 0; c < net.node_count(); ++c)
+      EXPECT_DOUBLE_EQ(net.conductance_sparse().at(r, c),
+                       dense(static_cast<std::size_t>(r),
+                             static_cast<std::size_t>(c)));
 }
 
 TEST(SolverValidationTest, SizeMismatchesThrow) {

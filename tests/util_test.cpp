@@ -96,6 +96,23 @@ TEST(LuTest, RequiresPivoting) {
   EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
 }
 
+TEST(LuTest, SolveInPlaceMatchesSolveRepeatedly) {
+  // The permutation scratch is reused across calls (the transient solver
+  // calls this once per step); results must not depend on call history.
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 5; a(1, 2) = 2;
+  a(2, 0) = 0; a(2, 1) = 2; a(2, 2) = 6;
+  const LuFactorization lu(a);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<double> b{1.0 + rep, -2.0, 3.0 * rep};
+    const std::vector<double> x = lu.solve(b);
+    std::vector<double> y = b;
+    lu.solve_in_place(y);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
+  }
+}
+
 TEST(LuTest, SingularMatrixThrows) {
   Matrix a(2, 2);
   a(0, 0) = 1; a(0, 1) = 2;
