@@ -1,24 +1,73 @@
-// Microbenchmarks for the LDPC stack: code construction, encoding, the
-// golden decoder, and a full cycle-accurate NoC block decode (the unit of
-// work behind every power-map measurement in the paper pipeline).
-#include <benchmark/benchmark.h>
+// Before/after harness for the flat LDPC decode engine.
+//
+// Times the seed (pointer-chasing, copy-in/copy-out) decode loop against
+// the flat CSR engine on the same blocks, checks bit-exactness of every
+// DecodeResult field while doing so, counts steady-state heap allocations
+// of the flat path, and scales the Monte-Carlo BER harness across threads
+// with a determinism cross-check. Guards fail the binary (nonzero exit), so
+// wiring `--smoke` into CI makes divergence from the golden semantics a
+// build break instead of a silent regression.
+//
+// Results are also written as machine-readable JSON (BENCH_ldpc.json by
+// default) so CI can archive them per commit.
+//
+// Usage: bench_micro_ldpc [--smoke] [--json <path>]
+//   --smoke   tiny sizes and budgets; used by CI and scripts/check.sh so
+//             this target can never silently rot.
+//   --json    output path for the JSON record (default BENCH_ldpc.json).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
 
+#include "bench_timing.hpp"
 #include "core/transform.hpp"
+#include "ldpc/ber_harness.hpp"
 #include "ldpc/channel.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/encoder.hpp"
 #include "ldpc/noc_decoder.hpp"
+#include "ldpc/reference_decoder.hpp"
 #include "noc/fabric.hpp"
+#include "util/table.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: proves the flat decode path is allocation-free
+// in steady state. Counting covers scalar and array new (the forms the
+// decode path could hit); over-aligned allocations fall through to the
+// default operator and simply go uncounted.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long> g_live_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace renoc {
 namespace {
 
-struct Bench {
+using bench::time_ms;
+
+struct CodeFixture {
   LdpcCode code;
   LdpcEncoder encoder;
-  std::vector<std::int16_t> llrs;
+  std::vector<std::int16_t> llrs;  // one quantized noisy block at 2.5 dB
 
-  explicit Bench(int n)
+  explicit CodeFixture(int n)
       : code([&] {
           Rng rng(3);
           return LdpcCode::make_regular(n, 3, 6, rng);
@@ -32,58 +81,267 @@ struct Bench {
   }
 };
 
-void BM_CodeConstruction(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    Rng rng(3);
-    benchmark::DoNotOptimize(LdpcCode::make_regular(n, 3, 6, rng));
+bool results_equal(const DecodeResult& a, const DecodeResult& b) {
+  return a.hard_bits == b.hard_bits && a.syndrome_ok == b.syndrome_ok &&
+         a.iterations_run == b.iterations_run;
+}
+
+struct GoldenRow {
+  int n = 0;
+  double ref_ms = 0.0;
+  double flat_ms = 0.0;
+  double speedup = 0.0;
+  long steady_allocs = 0;
+  bool bit_exact = true;
+};
+
+/// Times seed-vs-flat decode and verifies bit-exactness over a batch of
+/// noisy blocks (several seeds, early-exit on and off).
+GoldenRow run_golden_row(int n, int iterations, double budget_ms) {
+  const CodeFixture f(n);
+  GoldenRow row;
+  row.n = n;
+
+  row.ref_ms = time_ms(budget_ms, [&] {
+    (void)reference_minsum_decode(f.code, iterations, false, f.llrs);
+  });
+  const MinSumDecoder flat(f.code, iterations);
+  DecodeResult result;
+  row.flat_ms =
+      time_ms(budget_ms, [&] { flat.decode_into(f.llrs, result); });
+  row.speedup = row.ref_ms / row.flat_ms;
+
+  // Steady-state allocation count of the flat path (after warm-up above).
+  const long before = g_live_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 32; ++i) flat.decode_into(f.llrs, result);
+  row.steady_allocs = g_live_allocs.load(std::memory_order_relaxed) - before;
+
+  // Bit-exactness sweep: fresh noisy blocks, both early-exit modes.
+  for (std::uint64_t seed = 11; seed < 16 && row.bit_exact; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(f.encoder.k()));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(2));
+    AwgnChannel channel(2.0, 0.5, rng.split());
+    const auto llrs = quantize_llrs(channel.transmit(f.encoder.encode(data)));
+    for (bool early_exit : {false, true}) {
+      const MinSumDecoder dec(f.code, iterations, early_exit);
+      if (!results_equal(
+              reference_minsum_decode(f.code, iterations, early_exit, llrs),
+              dec.decode(llrs)))
+        row.bit_exact = false;
+    }
   }
+  return row;
 }
 
-void BM_EncoderSetup(benchmark::State& state) {
-  Rng rng(3);
-  const LdpcCode code =
-      LdpcCode::make_regular(static_cast<int>(state.range(0)), 3, 6, rng);
-  for (auto _ : state) {
-    LdpcEncoder enc(code);
-    benchmark::DoNotOptimize(&enc);
-  }
-}
+struct NocRow {
+  int iterations = 0;
+  double ms = 0.0;
+  bool matches_golden = true;
+};
 
-void BM_Encode(benchmark::State& state) {
-  Bench b(static_cast<int>(state.range(0)));
-  Rng rng(7);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(b.encoder.k()));
-  for (auto& bit : data) bit = static_cast<std::uint8_t>(rng.next_below(2));
-  for (auto _ : state) benchmark::DoNotOptimize(b.encoder.encode(data));
-}
-
-void BM_GoldenDecode(benchmark::State& state) {
-  Bench b(static_cast<int>(state.range(0)));
-  const MinSumDecoder decoder(b.code, 10);
-  for (auto _ : state) benchmark::DoNotOptimize(decoder.decode(b.llrs));
-}
-
-void BM_NocBlockDecode(benchmark::State& state) {
-  Bench b(510);
+NocRow run_noc_row(int iterations, double budget_ms) {
+  CodeFixture f(510);
   NocConfig cfg;
   cfg.dim = GridDim{4, 4};
   Fabric fabric(cfg);
   LdpcNocParams params;
-  params.iterations = static_cast<int>(state.range(0));
-  NocLdpcDecoder decoder(fabric, b.code, make_striped_partition(b.code, 16),
+  params.iterations = iterations;
+  NocLdpcDecoder decoder(fabric, f.code, make_striped_partition(f.code, 16),
                          identity_permutation(16), params);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(decoder.decode_block(b.llrs));
+
+  NocRow row;
+  row.iterations = iterations;
+  row.ms = time_ms(budget_ms, [&] { (void)decoder.decode_block(f.llrs); });
+  const MinSumDecoder golden(f.code, iterations);
+  row.matches_golden =
+      decoder.decode_block(f.llrs).hard_bits == golden.decode(f.llrs).hard_bits;
+  return row;
 }
 
-BENCHMARK(BM_CodeConstruction)->Arg(510)->Arg(2046);
-BENCHMARK(BM_EncoderSetup)->Arg(510)->Arg(2046);
-BENCHMARK(BM_Encode)->Arg(510)->Arg(2046);
-BENCHMARK(BM_GoldenDecode)->Arg(510)->Arg(2046);
-BENCHMARK(BM_NocBlockDecode)->Arg(4)->Arg(10);
+struct BerScalingRow {
+  int threads = 0;
+  double ms = 0.0;
+  double speedup = 1.0;  // vs single thread
+};
+
+struct BerScaling {
+  std::vector<BerScalingRow> rows;
+  bool deterministic = true;
+  std::int64_t blocks = 0;
+  std::int64_t bit_errors = 0;
+};
+
+bool points_equal(const std::vector<BerPoint>& a,
+                  const std::vector<BerPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].blocks != b[i].blocks || a[i].bits != b[i].bits ||
+        a[i].bit_errors != b[i].bit_errors ||
+        a[i].block_errors != b[i].block_errors ||
+        a[i].iterations_total != b[i].iterations_total)
+      return false;
+  return true;
+}
+
+BerScaling run_ber_scaling(const CodeFixture& f, BerConfig cfg,
+                           double budget_ms) {
+  BerScaling scaling;
+  std::vector<BerPoint> baseline;
+  for (int threads : {1, 2, 4}) {
+    cfg.threads = threads;
+    std::vector<BerPoint> pts;
+    BerScalingRow row;
+    row.threads = threads;
+    row.ms = time_ms(budget_ms,
+                     [&] { pts = run_ber_sweep(f.code, f.encoder, cfg); });
+    if (threads == 1) {
+      baseline = pts;
+      for (const BerPoint& p : pts) {
+        scaling.blocks += p.blocks;
+        scaling.bit_errors += p.bit_errors;
+      }
+    } else if (!points_equal(baseline, pts)) {
+      scaling.deterministic = false;
+    }
+    row.speedup = scaling.rows.empty() ? 1.0 : scaling.rows[0].ms / row.ms;
+    scaling.rows.push_back(row);
+  }
+  return scaling;
+}
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<GoldenRow>& golden, const NocRow& noc,
+                const BerScaling& ber, const BerConfig& ber_cfg) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"micro_ldpc\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(out, "  \"golden_decode\": [\n");
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const GoldenRow& r = golden[i];
+    std::fprintf(out,
+                 "    {\"n\": %d, \"iterations\": 10, \"ref_ms\": %.6f, "
+                 "\"flat_ms\": %.6f, \"speedup\": %.3f, "
+                 "\"steady_state_allocs\": %ld, \"bit_exact\": %s}%s\n",
+                 r.n, r.ref_ms, r.flat_ms, r.speedup, r.steady_allocs,
+                 r.bit_exact ? "true" : "false",
+                 i + 1 < golden.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"noc_block_decode\": {\"n\": 510, \"clusters\": 16, "
+               "\"iterations\": %d, \"ms\": %.6f, \"matches_golden\": %s},\n",
+               noc.iterations, noc.ms, noc.matches_golden ? "true" : "false");
+  std::fprintf(out,
+               "  \"ber_sweep\": {\"points\": %d, \"blocks_per_point\": %d, "
+               "\"iterations\": %d, \"blocks\": %lld, \"bit_errors\": %lld, "
+               "\"deterministic\": %s, \"threads\": [\n",
+               static_cast<int>(ber_cfg.ebn0_db.size()),
+               ber_cfg.blocks_per_point, ber_cfg.iterations,
+               static_cast<long long>(ber.blocks),
+               static_cast<long long>(ber.bit_errors),
+               ber.deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < ber.rows.size(); ++i) {
+    const BerScalingRow& r = ber.rows[i];
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"ms\": %.6f, \"speedup\": %.3f}%s\n",
+                 r.threads, r.ms, r.speedup,
+                 i + 1 < ber.rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]}\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run(bool smoke, const std::string& json_path) {
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{510} : std::vector<int>{510, 2046};
+  const double budget_ms = smoke ? 10.0 : 300.0;
+
+  // --- Golden decode: seed loop vs flat engine -------------------------
+  Table golden_table({"n", "edges", "seed ms", "flat ms", "speedup",
+                      "steady allocs", "bit-exact"});
+  golden_table.set_title(
+      std::string("Golden min-sum decode, 10 iterations: seed "
+                  "(copy-in/copy-out) vs flat CSR engine, best-of-N") +
+      (smoke ? " [smoke]" : ""));
+  std::vector<GoldenRow> golden_rows;
+  bool ok = true;
+  for (int n : sizes) {
+    const GoldenRow r = run_golden_row(n, 10, budget_ms);
+    golden_rows.push_back(r);
+    golden_table.add_row({std::to_string(r.n), std::to_string(n * 3),
+                          Table::num(r.ref_ms, 4), Table::num(r.flat_ms, 4),
+                          Table::num(r.speedup, 2),
+                          std::to_string(r.steady_allocs),
+                          r.bit_exact ? "yes" : "NO"});
+    ok = ok && r.bit_exact && r.steady_allocs == 0;
+  }
+  golden_table.print(std::cout);
+
+  // --- NoC block decode -------------------------------------------------
+  const NocRow noc = run_noc_row(smoke ? 2 : 8, budget_ms);
+  Table noc_table({"n", "clusters", "iterations", "block ms", "== golden"});
+  noc_table.set_title("Cycle-accurate NoC block decode (4x4 mesh)");
+  noc_table.add_row({"510", "16", std::to_string(noc.iterations),
+                     Table::num(noc.ms, 3),
+                     noc.matches_golden ? "yes" : "NO"});
+  noc_table.print(std::cout);
+  ok = ok && noc.matches_golden;
+
+  // --- BER harness thread scaling --------------------------------------
+  const CodeFixture f(510);
+  BerConfig cfg;
+  cfg.ebn0_db = smoke ? std::vector<double>{2.0}
+                      : std::vector<double>{1.0, 2.0};
+  cfg.blocks_per_point = smoke ? 16 : 128;
+  cfg.iterations = smoke ? 4 : 10;
+  cfg.early_exit = true;
+  cfg.seed = 99;
+  const BerScaling ber = run_ber_scaling(f, cfg, smoke ? 1.0 : 50.0);
+  Table ber_table({"threads", "sweep ms", "speedup", "deterministic"});
+  ber_table.set_title(
+      "Monte-Carlo BER sweep (n=510, " +
+      std::to_string(cfg.ebn0_db.size()) + " points x " +
+      std::to_string(cfg.blocks_per_point) +
+      " blocks): thread scaling; counts must not depend on thread count");
+  for (const BerScalingRow& r : ber.rows)
+    ber_table.add_row({std::to_string(r.threads), Table::num(r.ms, 2),
+                       Table::num(r.speedup, 2),
+                       ber.deterministic ? "yes" : "NO"});
+  ber_table.print(std::cout);
+  ok = ok && ber.deterministic;
+
+  write_json(json_path, smoke, golden_rows, noc, ber, cfg);
+
+  if (!ok) {
+    std::cerr << "FAIL: flat decode diverged from the golden semantics, "
+                 "allocated in steady state, or the BER sweep depended on "
+                 "thread count\n";
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace renoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_ldpc.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return renoc::run(smoke, json_path);
+}

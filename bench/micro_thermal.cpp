@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_timing.hpp"
 #include "floorplan/floorplan.hpp"
 #include "thermal/hotspot_params.hpp"
 #include "thermal/rc_network.hpp"
@@ -43,25 +44,7 @@ RcNetwork net_for(int refine) {
       date05_hotspot_params());
 }
 
-/// Best-of-N wall time of op() in milliseconds: repeats until the budget is
-/// spent (at least twice), reporting the fastest run.
-double time_ms(double budget_ms, const std::function<void()>& op) {
-  using clock = std::chrono::steady_clock;
-  double best = 1e300;
-  double spent = 0.0;
-  int reps = 0;
-  while (reps < 2 || spent < budget_ms) {
-    const auto t0 = clock::now();
-    op();
-    const auto t1 = clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    best = std::min(best, ms);
-    spent += ms;
-    ++reps;
-  }
-  return best;
-}
+using bench::time_ms;
 
 struct RowResult {
   bool agree = true;

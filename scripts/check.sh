@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-shot tier-1 verify: configure, build, and run ctest in Debug and
 # Release with warnings-as-errors, benches, and examples all enabled, then
-# smoke-run the dense-vs-sparse thermal bench so the bench target cannot
-# silently rot.
+# smoke-run the dense-vs-sparse thermal bench and the seed-vs-flat LDPC
+# bench so the bench targets cannot silently rot (both exit nonzero when
+# the fast path diverges from its golden reference).
 # Usage: scripts/check.sh [--skip-bench-smoke] [extra cmake args...]
 set -euo pipefail
 
@@ -31,6 +32,9 @@ for config in Debug Release; do
   if [[ "${bench_smoke}" == 1 ]]; then
     echo "== ${config}: bench smoke (micro_thermal) =="
     "${build_dir}/bench/bench_micro_thermal" --smoke
+    echo "== ${config}: bench smoke (micro_ldpc) =="
+    "${build_dir}/bench/bench_micro_ldpc" --smoke \
+      --json "${build_dir}/BENCH_ldpc.json"
   fi
 done
 

@@ -1,0 +1,130 @@
+#include "ldpc/ber_harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "ldpc/channel.hpp"
+#include "ldpc/decoder.hpp"
+#include "util/check.hpp"
+
+namespace renoc {
+
+void BerConfig::validate() const {
+  RENOC_CHECK_MSG(!ebn0_db.empty(), "BER sweep needs at least one Eb/N0");
+  RENOC_CHECK(blocks_per_point >= 1);
+  RENOC_CHECK(iterations >= 1);
+  RENOC_CHECK(threads >= 1);
+}
+
+namespace {
+
+/// SplitMix64 finalizer (the mixer behind Rng's own seeding).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+Rng ber_block_rng(std::uint64_t seed, int point, int block) {
+  RENOC_CHECK(point >= 0 && block >= 0);
+  // Stateless derivation — two chained SplitMix64 steps fold the sweep
+  // coordinates into the master seed, so any block of any point is
+  // reachable in O(1): the sweep never materializes a seed table, replaying
+  // a whole point is linear, and the job space is not bounded by memory.
+  const std::uint64_t z =
+      mix64(seed + kGolden * (static_cast<std::uint64_t>(point) + 1));
+  return Rng(mix64(z + kGolden * (static_cast<std::uint64_t>(block) + 1)));
+}
+
+std::vector<BerPoint> run_ber_sweep(const LdpcCode& code,
+                                    const LdpcEncoder& encoder,
+                                    const BerConfig& cfg) {
+  cfg.validate();
+  RENOC_CHECK_MSG(encoder.n() == code.n(), "encoder does not match code");
+
+  const int points = static_cast<int>(cfg.ebn0_db.size());
+  const int blocks = cfg.blocks_per_point;
+  const double rate =
+      static_cast<double>(encoder.k()) / static_cast<double>(encoder.n());
+
+  const std::int64_t total_jobs =
+      static_cast<std::int64_t>(points) * static_cast<std::int64_t>(blocks);
+  std::atomic<std::int64_t> cursor{0};
+
+  // Each worker decodes with a private decoder/result (decoder workspaces
+  // are single-threaded) and counts into a private accumulator; the merge
+  // below is a plain sum, so any schedule yields identical totals.
+  auto worker = [&](std::vector<BerPoint>& acc) {
+    acc.assign(static_cast<std::size_t>(points), BerPoint{});
+    const MinSumDecoder decoder(code, cfg.iterations, cfg.early_exit);
+    DecodeResult result;
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(encoder.k()));
+    for (;;) {
+      const std::int64_t job = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (job >= total_jobs) break;
+      // The stream a block sees depends only on its (point, block)
+      // coordinates — never on which worker runs it.
+      const int p = static_cast<int>(job / blocks);
+      const int b = static_cast<int>(job % blocks);
+      Rng rng = ber_block_rng(cfg.seed, p, b);
+
+      for (auto& bit : data)
+        bit = static_cast<std::uint8_t>(rng.next_below(2));
+      const std::vector<std::uint8_t> cw = encoder.encode(data);
+      AwgnChannel channel(cfg.ebn0_db[static_cast<std::size_t>(p)], rate,
+                          rng.split());
+      const std::vector<std::int16_t> llrs =
+          quantize_llrs(channel.transmit(cw));
+      decoder.decode_into(llrs, result);
+
+      BerPoint& pt = acc[static_cast<std::size_t>(p)];
+      std::int64_t errs = 0;
+      for (std::size_t i = 0; i < cw.size(); ++i)
+        errs += result.hard_bits[i] != cw[i];
+      ++pt.blocks;
+      pt.bits += code.n();
+      pt.bit_errors += errs;
+      pt.block_errors += errs > 0;
+      pt.iterations_total += result.iterations_run;
+    }
+  };
+
+  const int workers = static_cast<int>(
+      std::min<std::int64_t>(cfg.threads, total_jobs));
+  std::vector<std::vector<BerPoint>> partial(
+      static_cast<std::size_t>(workers));
+  if (workers == 1) {
+    worker(partial[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      pool.emplace_back([&worker, &partial, w] {
+        worker(partial[static_cast<std::size_t>(w)]);
+      });
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<BerPoint> out(static_cast<std::size_t>(points));
+  for (int p = 0; p < points; ++p)
+    out[static_cast<std::size_t>(p)].ebn0_db =
+        cfg.ebn0_db[static_cast<std::size_t>(p)];
+  for (const std::vector<BerPoint>& acc : partial)
+    for (int p = 0; p < points; ++p) {
+      BerPoint& dst = out[static_cast<std::size_t>(p)];
+      const BerPoint& src = acc[static_cast<std::size_t>(p)];
+      dst.blocks += src.blocks;
+      dst.bits += src.bits;
+      dst.bit_errors += src.bit_errors;
+      dst.block_errors += src.block_errors;
+      dst.iterations_total += src.iterations_total;
+    }
+  return out;
+}
+
+}  // namespace renoc

@@ -7,9 +7,82 @@
 namespace renoc {
 
 void LdpcCode::add_edge(int check, int var) {
-  check_adj_[static_cast<std::size_t>(check)].push_back({var, edges_});
-  var_adj_[static_cast<std::size_t>(var)].push_back({check, edges_});
+  edge_check_.push_back(check);
+  edge_var_.push_back(var);
   ++edges_;
+}
+
+void LdpcCode::finalize() {
+  RENOC_CHECK(static_cast<int>(edge_check_.size()) == edges_);
+
+  // Degree counts -> exclusive prefix sums.
+  var_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  check_offsets_.assign(static_cast<std::size_t>(m_) + 1, 0);
+  for (int e = 0; e < edges_; ++e) {
+    ++var_offsets_[static_cast<std::size_t>(edge_var_[
+        static_cast<std::size_t>(e)]) + 1];
+    ++check_offsets_[static_cast<std::size_t>(edge_check_[
+        static_cast<std::size_t>(e)]) + 1];
+  }
+  for (int v = 0; v < n_; ++v)
+    var_offsets_[static_cast<std::size_t>(v) + 1] +=
+        var_offsets_[static_cast<std::size_t>(v)];
+  for (int c = 0; c < m_; ++c)
+    check_offsets_[static_cast<std::size_t>(c) + 1] +=
+        check_offsets_[static_cast<std::size_t>(c)];
+
+  // Fill slices in global edge-id order, which reproduces each node's
+  // add_edge() construction order — the order every message-passing kernel
+  // and the NoC packing contract depend on.
+  var_edge_ids_.resize(static_cast<std::size_t>(edges_));
+  var_neighbors_.resize(static_cast<std::size_t>(edges_));
+  check_edge_ids_.resize(static_cast<std::size_t>(edges_));
+  check_neighbors_.resize(static_cast<std::size_t>(edges_));
+  std::vector<int> var_cursor(var_offsets_.begin(), var_offsets_.end() - 1);
+  std::vector<int> check_cursor(check_offsets_.begin(),
+                                check_offsets_.end() - 1);
+  for (int e = 0; e < edges_; ++e) {
+    const int c = edge_check_[static_cast<std::size_t>(e)];
+    const int v = edge_var_[static_cast<std::size_t>(e)];
+    const int vs = var_cursor[static_cast<std::size_t>(v)]++;
+    var_edge_ids_[static_cast<std::size_t>(vs)] = e;
+    var_neighbors_[static_cast<std::size_t>(vs)] = c;
+    const int cs = check_cursor[static_cast<std::size_t>(c)]++;
+    check_edge_ids_[static_cast<std::size_t>(cs)] = e;
+    check_neighbors_[static_cast<std::size_t>(cs)] = v;
+  }
+
+  // Check-side gather map into var-major message storage: invert
+  // var_edge_ids_ (slot -> edge) then compose with check_edge_ids_.
+  std::vector<int> slot_of_edge(static_cast<std::size_t>(edges_));
+  for (int s = 0; s < edges_; ++s)
+    slot_of_edge[static_cast<std::size_t>(
+        var_edge_ids_[static_cast<std::size_t>(s)])] = s;
+  check_var_slots_.resize(static_cast<std::size_t>(edges_));
+  for (int p = 0; p < edges_; ++p)
+    check_var_slots_[static_cast<std::size_t>(p)] =
+        slot_of_edge[static_cast<std::size_t>(
+            check_edge_ids_[static_cast<std::size_t>(p)])];
+
+  if (edges_ <= 65536) {
+    check_var_slots16_.resize(static_cast<std::size_t>(edges_));
+    for (int p = 0; p < edges_; ++p)
+      check_var_slots16_[static_cast<std::size_t>(p)] =
+          static_cast<std::uint16_t>(check_var_slots_[
+              static_cast<std::size_t>(p)]);
+  }
+
+  uniform_var_degree_ = n_ > 0 ? var_degree(0) : 0;
+  for (int v = 1; v < n_ && uniform_var_degree_ != 0; ++v)
+    if (var_degree(v) != uniform_var_degree_) uniform_var_degree_ = 0;
+  uniform_check_degree_ = m_ > 0 ? check_degree(0) : 0;
+  for (int c = 1; c < m_ && uniform_check_degree_ != 0; ++c)
+    if (check_degree(c) != uniform_check_degree_) uniform_check_degree_ = 0;
+
+  edge_check_.clear();
+  edge_check_.shrink_to_fit();
+  edge_var_.clear();
+  edge_var_.shrink_to_fit();
 }
 
 LdpcCode LdpcCode::make_regular(int n, int wc, int wr, Rng& rng) {
@@ -23,8 +96,10 @@ LdpcCode LdpcCode::make_regular(int n, int wc, int wr, Rng& rng) {
   LdpcCode code;
   code.n_ = n;
   code.m_ = m;
-  code.check_adj_.resize(static_cast<std::size_t>(m));
-  code.var_adj_.resize(static_cast<std::size_t>(n));
+  code.edge_check_.reserve(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(wc));
+  code.edge_var_.reserve(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(wc));
 
   // Band 0: row i covers a contiguous stripe of columns.
   for (int r = 0; r < band_rows; ++r)
@@ -48,6 +123,7 @@ LdpcCode LdpcCode::make_regular(int n, int wc, int wr, Rng& rng) {
     }
   }
   RENOC_CHECK(code.edges_ == n * wc);
+  code.finalize();
   return code;
 }
 
@@ -122,22 +198,13 @@ LdpcCode LdpcCode::make_irregular(const std::vector<int>& var_degrees,
   LdpcCode code;
   code.n_ = n;
   code.m_ = m;
-  code.check_adj_.resize(static_cast<std::size_t>(m));
-  code.var_adj_.resize(static_cast<std::size_t>(n));
+  code.edge_check_.reserve(static_cast<std::size_t>(total));
+  code.edge_var_.reserve(static_cast<std::size_t>(total));
   for (int s = 0; s < total; ++s)
     code.add_edge(check_socket[static_cast<std::size_t>(s)],
                   var_socket[static_cast<std::size_t>(s)]);
+  code.finalize();
   return code;
-}
-
-const std::vector<TannerEdge>& LdpcCode::check_edges(int c) const {
-  RENOC_CHECK(c >= 0 && c < m_);
-  return check_adj_[static_cast<std::size_t>(c)];
-}
-
-const std::vector<TannerEdge>& LdpcCode::var_edges(int v) const {
-  RENOC_CHECK(v >= 0 && v < n_);
-  return var_adj_[static_cast<std::size_t>(v)];
 }
 
 bool LdpcCode::is_codeword(const std::vector<std::uint8_t>& bits) const {
@@ -147,10 +214,12 @@ bool LdpcCode::is_codeword(const std::vector<std::uint8_t>& bits) const {
 int LdpcCode::syndrome_weight(const std::vector<std::uint8_t>& bits) const {
   RENOC_CHECK(static_cast<int>(bits.size()) == n_);
   int violated = 0;
+  const int* neighbors = check_neighbors_.data();
   for (int c = 0; c < m_; ++c) {
+    const int end = check_offsets_[static_cast<std::size_t>(c) + 1];
     int parity = 0;
-    for (const TannerEdge& e : check_edges(c))
-      parity ^= bits[static_cast<std::size_t>(e.other)] & 1;
+    for (int s = check_offsets_[static_cast<std::size_t>(c)]; s < end; ++s)
+      parity ^= bits[static_cast<std::size_t>(neighbors[s])] & 1;
     violated += parity;
   }
   return violated;

@@ -6,11 +6,19 @@
 // columns [i*wr, (i+1)*wr); the remaining bands are random column
 // permutations of the first. This yields exactly wr ones per row and wc
 // per column, the structure the hardware decoders of that generation used.
+//
+// The Tanner graph is stored flat in CSR form: four contiguous arrays per
+// side (offsets, neighbor node ids, global edge ids), built once at
+// construction. Decode kernels stream through these arrays with zero
+// pointer chasing; the classic per-node view survives as EdgeView, a
+// lightweight span over the CSR slices, so callers keep the familiar
+// `for (const TannerEdge& e : code.var_edges(v))` idiom.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace renoc {
@@ -21,7 +29,51 @@ struct TannerEdge {
   int edge = 0;   ///< global edge id, shared by both endpoints
 };
 
-/// Sparse parity-check matrix with precomputed adjacency and edge ids.
+/// Non-owning view of one node's adjacency inside the flat CSR arrays.
+/// Iteration materializes TannerEdge values on the fly, preserving the
+/// pre-CSR API without duplicating the graph in memory.
+class EdgeView {
+ public:
+  class Iterator {
+   public:
+    Iterator(const int* neighbors, const int* edge_ids)
+        : neighbors_(neighbors), edge_ids_(edge_ids) {}
+    TannerEdge operator*() const { return {*neighbors_, *edge_ids_}; }
+    Iterator& operator++() {
+      ++neighbors_;
+      ++edge_ids_;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const {
+      return neighbors_ != o.neighbors_;
+    }
+    bool operator==(const Iterator& o) const {
+      return neighbors_ == o.neighbors_;
+    }
+
+   private:
+    const int* neighbors_;
+    const int* edge_ids_;
+  };
+
+  EdgeView(const int* neighbors, const int* edge_ids, int count)
+      : neighbors_(neighbors), edge_ids_(edge_ids), count_(count) {}
+
+  std::size_t size() const { return static_cast<std::size_t>(count_); }
+  bool empty() const { return count_ == 0; }
+  TannerEdge operator[](std::size_t i) const {
+    return {neighbors_[i], edge_ids_[i]};
+  }
+  Iterator begin() const { return Iterator(neighbors_, edge_ids_); }
+  Iterator end() const { return Iterator(neighbors_ + count_, edge_ids_ + count_); }
+
+ private:
+  const int* neighbors_;
+  const int* edge_ids_;
+  int count_;
+};
+
+/// Sparse parity-check matrix with flat CSR adjacency and edge ids.
 class LdpcCode {
  public:
   /// Builds a regular Gallager code: n variable nodes, wc ones per column,
@@ -42,16 +94,66 @@ class LdpcCode {
   int edge_count() const { return edges_; }
 
   /// Adjacency of check c: (variable, edge id) pairs in construction order.
-  const std::vector<TannerEdge>& check_edges(int c) const;
+  EdgeView check_edges(int c) const {
+    RENOC_CHECK(c >= 0 && c < m_);
+    const int begin = check_offsets_[static_cast<std::size_t>(c)];
+    return EdgeView(check_neighbors_.data() + begin,
+                    check_edge_ids_.data() + begin,
+                    check_offsets_[static_cast<std::size_t>(c) + 1] - begin);
+  }
   /// Adjacency of variable v: (check, edge id) pairs in construction order.
-  const std::vector<TannerEdge>& var_edges(int v) const;
+  EdgeView var_edges(int v) const {
+    RENOC_CHECK(v >= 0 && v < n_);
+    const int begin = var_offsets_[static_cast<std::size_t>(v)];
+    return EdgeView(var_neighbors_.data() + begin,
+                    var_edge_ids_.data() + begin,
+                    var_offsets_[static_cast<std::size_t>(v) + 1] - begin);
+  }
 
   int check_degree(int c) const {
-    return static_cast<int>(check_edges(c).size());
+    RENOC_CHECK(c >= 0 && c < m_);
+    return check_offsets_[static_cast<std::size_t>(c) + 1] -
+           check_offsets_[static_cast<std::size_t>(c)];
   }
   int var_degree(int v) const {
-    return static_cast<int>(var_edges(v).size());
+    RENOC_CHECK(v >= 0 && v < n_);
+    return var_offsets_[static_cast<std::size_t>(v) + 1] -
+           var_offsets_[static_cast<std::size_t>(v)];
   }
+
+  // Raw CSR arrays for the flat decode kernels. Variable v owns slots
+  // [var_offsets()[v], var_offsets()[v+1]) of var_edge_ids()/var_neighbors(),
+  // in construction order; the check side is symmetric. Edge ids index the
+  // global q/r message arrays shared by every decoder.
+  const std::vector<int>& var_offsets() const { return var_offsets_; }
+  const std::vector<int>& var_edge_ids() const { return var_edge_ids_; }
+  const std::vector<int>& var_neighbors() const { return var_neighbors_; }
+  const std::vector<int>& check_offsets() const { return check_offsets_; }
+  const std::vector<int>& check_edge_ids() const { return check_edge_ids_; }
+  const std::vector<int>& check_neighbors() const { return check_neighbors_; }
+
+  /// Check-side positions mapped into var-major message storage: entry p of
+  /// the check-major traversal (check c owns [check_offsets()[c],
+  /// check_offsets()[c+1])) names the slot of that edge in a message array
+  /// laid out variable-by-variable. The golden decoders store q/r var-major
+  /// (variable phase and posteriors stream contiguously) and let the check
+  /// phase gather through this map.
+  const std::vector<int>& check_var_slots() const { return check_var_slots_; }
+
+  /// check_var_slots() narrowed to uint16_t when every slot fits (any code
+  /// with at most 65536 edges — all hardware-scale codes here). Half the
+  /// index bytes keeps the check-phase gather streams L1-resident roughly
+  /// twice as long; empty for larger graphs, so callers must fall back to
+  /// check_var_slots().
+  const std::vector<std::uint16_t>& check_var_slots16() const {
+    return check_var_slots16_;
+  }
+
+  /// Uniform variable degree, or 0 if degrees differ (regular codes report
+  /// wc). Lets decode loops pick fixed-stride fast paths.
+  int uniform_var_degree() const { return uniform_var_degree_; }
+  /// Uniform check degree, or 0 if degrees differ.
+  int uniform_check_degree() const { return uniform_check_degree_; }
 
   /// True if `bits` (size n, 0/1) satisfies every parity check.
   bool is_codeword(const std::vector<std::uint8_t>& bits) const;
@@ -62,12 +164,29 @@ class LdpcCode {
  private:
   LdpcCode() = default;
   void add_edge(int check, int var);
+  /// Flattens the edge list accumulated by add_edge() into the CSR arrays
+  /// and releases the construction scratch.
+  void finalize();
 
   int n_ = 0;
   int m_ = 0;
   int edges_ = 0;
-  std::vector<std::vector<TannerEdge>> check_adj_;
-  std::vector<std::vector<TannerEdge>> var_adj_;
+
+  // Construction scratch: endpoint per edge in add order (edge id = index).
+  std::vector<int> edge_check_;
+  std::vector<int> edge_var_;
+
+  // CSR adjacency (see the raw accessors above).
+  std::vector<int> var_offsets_;    // size n+1
+  std::vector<int> var_edge_ids_;   // size E
+  std::vector<int> var_neighbors_;  // size E (check ids)
+  std::vector<int> check_offsets_;    // size m+1
+  std::vector<int> check_edge_ids_;   // size E
+  std::vector<int> check_neighbors_;  // size E (variable ids)
+  std::vector<int> check_var_slots_;  // size E (see check_var_slots())
+  std::vector<std::uint16_t> check_var_slots16_;  // size E or empty
+  int uniform_var_degree_ = 0;
+  int uniform_check_degree_ = 0;
 };
 
 }  // namespace renoc

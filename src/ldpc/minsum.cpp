@@ -1,87 +1,26 @@
 #include "ldpc/minsum.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-
-#include "util/check.hpp"
-
 namespace renoc::minsum {
-namespace {
-
-std::int16_t saturate(std::int32_t v) {
-  return static_cast<std::int16_t>(
-      std::clamp<std::int32_t>(v, -kMsgMax, kMsgMax));
-}
-
-}  // namespace
-
-std::int16_t sat_add(std::int16_t a, std::int16_t b) {
-  return saturate(static_cast<std::int32_t>(a) + b);
-}
-
-std::int16_t normalize(std::int16_t magnitude) {
-  const bool neg = magnitude < 0;
-  const std::int32_t mag = std::abs(static_cast<std::int32_t>(magnitude));
-  const std::int32_t scaled = (3 * mag) >> 2;
-  return static_cast<std::int16_t>(neg ? -scaled : scaled);
-}
 
 void var_update(std::int16_t channel_llr,
                 const std::vector<std::int16_t>& incoming_r,
                 std::vector<std::int16_t>& out_q) {
   out_q.resize(incoming_r.size());
-  // Wide accumulation first (order-independent), then per-edge extrinsic
-  // subtraction with a single saturation — the canonical ordering.
-  std::int32_t total = channel_llr;
-  for (std::int16_t r : incoming_r) total += r;
-  for (std::size_t i = 0; i < incoming_r.size(); ++i)
-    out_q[i] = saturate(total - incoming_r[i]);
+  var_update(channel_llr, incoming_r.data(), out_q.data(),
+             static_cast<int>(incoming_r.size()));
 }
 
 std::int32_t var_posterior(std::int16_t channel_llr,
                            const std::vector<std::int16_t>& incoming_r) {
-  std::int32_t total = channel_llr;
-  for (std::int16_t r : incoming_r) total += r;
-  return total;
+  return var_posterior(channel_llr, incoming_r.data(),
+                       static_cast<int>(incoming_r.size()));
 }
 
 void check_update(const std::vector<std::int16_t>& incoming_q,
                   std::vector<std::int16_t>& out_r) {
-  const std::size_t deg = incoming_q.size();
-  out_r.resize(deg);
-  if (deg == 0) return;
-  if (deg == 1) {
-    // Degenerate check: the extrinsic min over an empty set saturates.
-    out_r[0] = normalize(kMsgMax);
-    return;
-  }
-  // Two smallest magnitudes + product of signs in one pass.
-  std::int32_t min1 = kMsgMax + 1, min2 = kMsgMax + 1;
-  std::size_t min1_pos = 0;
-  int sign_product = 1;
-  for (std::size_t i = 0; i < deg; ++i) {
-    const std::int32_t v = incoming_q[i];
-    const std::int32_t mag = std::abs(v);
-    if (v < 0) sign_product = -sign_product;
-    if (mag < min1) {
-      min2 = min1;
-      min1 = mag;
-      min1_pos = i;
-    } else if (mag < min2) {
-      min2 = mag;
-    }
-  }
-  for (std::size_t i = 0; i < deg; ++i) {
-    const std::int32_t extrinsic_min = (i == min1_pos) ? min2 : min1;
-    // Sign excluding edge i: total sign product divided by this edge's sign
-    // (zero treated as positive).
-    const int self_sign = (incoming_q[i] < 0) ? -1 : 1;
-    const int sign = sign_product * self_sign;
-    const std::int16_t mag16 =
-        static_cast<std::int16_t>(std::min<std::int32_t>(extrinsic_min,
-                                                         kMsgMax));
-    out_r[i] = normalize(static_cast<std::int16_t>(sign < 0 ? -mag16 : mag16));
-  }
+  out_r.resize(incoming_q.size());
+  check_update(incoming_q.data(), out_r.data(),
+               static_cast<int>(incoming_q.size()));
 }
 
 }  // namespace renoc::minsum

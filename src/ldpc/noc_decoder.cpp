@@ -260,45 +260,40 @@ void NocLdpcDecoder::finish_compute(int cluster) {
       .tile(placement_[static_cast<std::size_t>(cluster)])
       .pe_compute_ops += phase_ops(cluster, phase);
 
+  // The PE compute loops stream straight through the flat CSR arrays and
+  // the global edge-indexed q_/r_ state with the edge-indexed kernels — the
+  // same kernels (and operand order) the golden decoder uses, so the
+  // distributed result stays bit-identical with zero per-node scratch.
+  const int* var_off = code.var_offsets().data();
+  const int* var_ids = code.var_edge_ids().data();
+
   if (phase == 2 * params_.iterations) {
     // Final hard-decision phase.
-    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)]) {
-      scratch_in_.clear();
-      for (const TannerEdge& e : code.var_edges(v))
-        scratch_in_.push_back(r_[static_cast<std::size_t>(e.edge)]);
+    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)])
       hard_bits_[static_cast<std::size_t>(v)] =
-          minsum::var_posterior(llr_[static_cast<std::size_t>(v)],
-                                scratch_in_) < 0
+          minsum::var_posterior_edges(llr_[static_cast<std::size_t>(v)],
+                                      r_.data(), var_ids + var_off[v],
+                                      var_off[v + 1] - var_off[v]) < 0
               ? 1
               : 0;
-    }
     rt.state = PeState::kDone;
     return;
   }
 
   if (phase % 2 == 0) {
     // VN phase: q = f(llr, r) for every owned variable.
-    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)]) {
-      const auto& edges = code.var_edges(v);
-      scratch_in_.clear();
-      for (const TannerEdge& e : edges)
-        scratch_in_.push_back(r_[static_cast<std::size_t>(e.edge)]);
-      minsum::var_update(llr_[static_cast<std::size_t>(v)], scratch_in_,
-                         scratch_out_);
-      for (std::size_t i = 0; i < edges.size(); ++i)
-        q_[static_cast<std::size_t>(edges[i].edge)] = scratch_out_[i];
-    }
+    for (int v : cluster_vns_[static_cast<std::size_t>(cluster)])
+      minsum::var_update_edges(llr_[static_cast<std::size_t>(v)], r_.data(),
+                               q_.data(), var_ids + var_off[v],
+                               var_off[v + 1] - var_off[v]);
   } else {
     // CN phase: r = g(q) for every owned check.
-    for (int c : cluster_cns_[static_cast<std::size_t>(cluster)]) {
-      const auto& edges = code.check_edges(c);
-      scratch_in_.clear();
-      for (const TannerEdge& e : edges)
-        scratch_in_.push_back(q_[static_cast<std::size_t>(e.edge)]);
-      minsum::check_update(scratch_in_, scratch_out_);
-      for (std::size_t i = 0; i < edges.size(); ++i)
-        r_[static_cast<std::size_t>(edges[i].edge)] = scratch_out_[i];
-    }
+    const int* check_off = code.check_offsets().data();
+    const int* check_ids = code.check_edge_ids().data();
+    for (int c : cluster_cns_[static_cast<std::size_t>(cluster)])
+      minsum::check_update_edges(q_.data(), r_.data(),
+                                 check_ids + check_off[c],
+                                 check_off[c + 1] - check_off[c]);
   }
 
   send_phase_messages(cluster, phase);

@@ -133,7 +133,6 @@ class NocLdpcDecoder {
   std::vector<std::int16_t> llr_;
   std::vector<std::uint8_t> hard_bits_;
   std::vector<ClusterRuntime> runtime_;
-  std::vector<std::int16_t> scratch_in_, scratch_out_;
 };
 
 }  // namespace renoc

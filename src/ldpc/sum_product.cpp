@@ -21,74 +21,95 @@ SumProductDecoder::SumProductDecoder(const LdpcCode& code, int iterations,
                                      bool early_exit)
     : code_(&code), iterations_(iterations), early_exit_(early_exit) {
   RENOC_CHECK(iterations_ >= 1);
+  r_.resize(static_cast<std::size_t>(code.edge_count()));
+  q_.resize(static_cast<std::size_t>(code.edge_count()));
+  int max_deg = 0;
+  for (int c = 0; c < code.m(); ++c)
+    max_deg = std::max(max_deg, code.check_degree(c));
+  tanh_q_.resize(static_cast<std::size_t>(max_deg));
+  prefix_.resize(static_cast<std::size_t>(max_deg) + 1);
+  suffix_.resize(static_cast<std::size_t>(max_deg) + 1);
 }
 
 DecodeResult SumProductDecoder::decode(
     const std::vector<double>& channel_llrs) const {
+  DecodeResult result;
+  decode_into(channel_llrs, result);
+  return result;
+}
+
+void SumProductDecoder::decode_into(const std::vector<double>& channel_llrs,
+                                    DecodeResult& result) const {
   const LdpcCode& code = *code_;
   RENOC_CHECK(static_cast<int>(channel_llrs.size()) == code.n());
 
-  std::vector<double> r(static_cast<std::size_t>(code.edge_count()), 0.0);
-  std::vector<double> q(static_cast<std::size_t>(code.edge_count()), 0.0);
+  // Only r_ needs clearing: the variable update writes every q_ slot
+  // (each edge belongs to exactly one variable) before the check update
+  // reads any.
+  std::fill(r_.begin(), r_.end(), 0.0);
+  result.hard_bits.resize(static_cast<std::size_t>(code.n()));
 
-  auto hard_decide = [&](std::vector<std::uint8_t>& bits) {
-    bits.resize(static_cast<std::size_t>(code.n()));
+  const int* var_off = code.var_offsets().data();
+  const int* var_ids = code.var_edge_ids().data();
+  const int* check_off = code.check_offsets().data();
+  const int* check_ids = code.check_edge_ids().data();
+
+  auto hard_decide = [&] {
     for (int v = 0; v < code.n(); ++v) {
       double total = channel_llrs[static_cast<std::size_t>(v)];
-      for (const TannerEdge& e : code.var_edges(v))
-        total += r[static_cast<std::size_t>(e.edge)];
-      bits[static_cast<std::size_t>(v)] = total < 0 ? 1 : 0;
+      for (int s = var_off[v]; s < var_off[v + 1]; ++s)
+        total += r_[static_cast<std::size_t>(var_ids[s])];
+      result.hard_bits[static_cast<std::size_t>(v)] = total < 0 ? 1 : 0;
     }
   };
 
-  DecodeResult result;
   for (int iter = 0; iter < iterations_; ++iter) {
     // Variable update: q_e = llr + sum r - r_e.
     for (int v = 0; v < code.n(); ++v) {
       double total = channel_llrs[static_cast<std::size_t>(v)];
-      for (const TannerEdge& e : code.var_edges(v))
-        total += r[static_cast<std::size_t>(e.edge)];
-      for (const TannerEdge& e : code.var_edges(v))
-        q[static_cast<std::size_t>(e.edge)] =
-            clamp_llr(total - r[static_cast<std::size_t>(e.edge)]);
+      for (int s = var_off[v]; s < var_off[v + 1]; ++s)
+        total += r_[static_cast<std::size_t>(var_ids[s])];
+      for (int s = var_off[v]; s < var_off[v + 1]; ++s)
+        q_[static_cast<std::size_t>(var_ids[s])] =
+            clamp_llr(total - r_[static_cast<std::size_t>(var_ids[s])]);
     }
     // Check update: tanh(r_e/2) = prod_{e' != e} tanh(q_{e'}/2).
     for (int c = 0; c < code.m(); ++c) {
-      const auto& edges = code.check_edges(c);
       // Full product with exclusion by division is numerically fragile
-      // near zero; use prefix/suffix products instead.
-      const std::size_t deg = edges.size();
-      std::vector<double> tanh_q(deg);
+      // near zero; use prefix/suffix products in the per-decoder scratch.
+      const int begin = check_off[c];
+      const std::size_t deg = static_cast<std::size_t>(check_off[c + 1] -
+                                                       begin);
       for (std::size_t i = 0; i < deg; ++i)
-        tanh_q[i] = std::tanh(
-            q[static_cast<std::size_t>(edges[i].edge)] / 2.0);
-      std::vector<double> prefix(deg + 1, 1.0), suffix(deg + 1, 1.0);
+        tanh_q_[i] = std::tanh(
+            q_[static_cast<std::size_t>(check_ids[begin +
+                                                  static_cast<int>(i)])] /
+            2.0);
+      prefix_[0] = 1.0;
+      suffix_[deg] = 1.0;
       for (std::size_t i = 0; i < deg; ++i)
-        prefix[i + 1] = prefix[i] * tanh_q[i];
+        prefix_[i + 1] = prefix_[i] * tanh_q_[i];
       for (std::size_t i = deg; i-- > 0;)
-        suffix[i] = suffix[i + 1] * tanh_q[i];
+        suffix_[i] = suffix_[i + 1] * tanh_q_[i];
       for (std::size_t i = 0; i < deg; ++i) {
-        const double prod = std::clamp(prefix[i] * suffix[i + 1],
+        const double prod = std::clamp(prefix_[i] * suffix_[i + 1],
                                        -kTanhClamp, kTanhClamp);
-        r[static_cast<std::size_t>(edges[i].edge)] =
+        r_[static_cast<std::size_t>(check_ids[begin + static_cast<int>(i)])] =
             clamp_llr(2.0 * std::atanh(prod));
       }
     }
     if (early_exit_) {
-      std::vector<std::uint8_t> bits;
-      hard_decide(bits);
-      if (code.is_codeword(bits)) {
-        result.hard_bits = std::move(bits);
+      hard_decide();
+      if (code.is_codeword(result.hard_bits)) {
         result.syndrome_ok = true;
         result.iterations_run = iter + 1;
-        return result;
+        return;
       }
     }
   }
-  hard_decide(result.hard_bits);
+  hard_decide();
   result.syndrome_ok = code.is_codeword(result.hard_bits);
   result.iterations_run = iterations_;
-  return result;
 }
 
 }  // namespace renoc

@@ -5,6 +5,11 @@
 // approximate. Having both lets tests pin the approximation quality
 // (min-sum must track sum-product within a fraction of a dB) and gives
 // users a golden yardstick for new code constructions.
+//
+// Like MinSumDecoder, the message arrays and per-check tanh/prefix/suffix
+// scratch are a per-decoder workspace sized at construction: decode_into()
+// allocates nothing in steady state, and a decoder instance must not be
+// shared across threads.
 #pragma once
 
 #include <cstdint>
@@ -25,10 +30,21 @@ class SumProductDecoder {
   /// Decodes unquantized channel LLRs (size n).
   DecodeResult decode(const std::vector<double>& channel_llrs) const;
 
+  /// Allocation-free variant: writes into `result`, reusing its buffers.
+  void decode_into(const std::vector<double>& channel_llrs,
+                   DecodeResult& result) const;
+
  private:
   const LdpcCode* code_;
   int iterations_;
   bool early_exit_;
+  // Workspace (mutable so decode() stays const): global edge-indexed
+  // message arrays plus per-check scratch sized to the maximum check degree.
+  mutable std::vector<double> r_;
+  mutable std::vector<double> q_;
+  mutable std::vector<double> tanh_q_;
+  mutable std::vector<double> prefix_;
+  mutable std::vector<double> suffix_;
 };
 
 }  // namespace renoc
