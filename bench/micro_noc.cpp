@@ -1,70 +1,535 @@
-// Microbenchmarks for the cycle-accurate NoC simulator: raw step cost on
-// idle and loaded meshes, end-to-end message cost, and synthetic traffic
-// throughput. These gate the wall-clock cost of the paper experiments
-// (one LDPC block is ~55k fabric cycles).
-#include <benchmark/benchmark.h>
+// Before/after harness for the flat SoA NoC fabric engine.
+//
+// Drives the seed engine (noc/reference_fabric: per-Router deque FIFOs,
+// unordered_map reassembly) and the flat engine (noc/fabric: one flit
+// arena, flat credit/wormhole/round-robin arrays, pooled payload buffers)
+// with byte-identical send schedules, and checks bit-exactness of the
+// delivery stream (order, contents, cycle of arrival), the final cycle
+// count, and every NocStats counter while timing both. It also counts
+// steady-state heap allocations of the flat traffic loop and cross-checks
+// the scenario-sweep harness across thread counts. Guards fail the binary
+// (nonzero exit), so wiring `--smoke` into CI makes divergence from the
+// seed semantics a build break instead of a silent regression.
+//
+// Results are also written as machine-readable JSON (BENCH_noc.json by
+// default) so CI can archive them per commit.
+//
+// Usage: bench_micro_noc [--smoke] [--json <path>]
+//   --smoke   tiny meshes and budgets; used by CI and scripts/check.sh so
+//             this target can never silently rot.
+//   --json    output path for the JSON record (default BENCH_noc.json).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
 
+#include "bench_timing.hpp"
 #include "noc/fabric.hpp"
+#include "noc/reference_fabric.hpp"
+#include "noc/sweep_harness.hpp"
 #include "noc/traffic.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: proves the flat fabric's traffic loop is
+// allocation-free in steady state. Counting covers scalar and array new
+// (the forms the step path could hit); over-aligned allocations fall
+// through to the default operator and simply go uncounted.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long> g_live_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace renoc {
 namespace {
 
-NocConfig mesh(int side) {
-  NocConfig cfg;
-  cfg.dim = GridDim{side, side};
-  return cfg;
-}
+using bench::time_ms;  // mix64 comes from util/rng.hpp
 
-void BM_FabricStepIdle(benchmark::State& state) {
-  Fabric fabric(mesh(static_cast<int>(state.range(0))));
-  for (auto _ : state) fabric.step();
-  state.SetItemsProcessed(state.iterations());
-}
+/// Everything observable about one driven simulation. Two engines are
+/// bit-identical iff their DriveRecords compare equal.
+struct DriveRecord {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t delivery_hash = 0;  ///< (cycle, node, src, tag, payload...)
+  std::uint64_t final_cycle = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t flits = 0;
+  std::uint64_t lat_count = 0;
+  double lat_mean = 0.0;
+  double lat_min = 0.0;
+  double lat_max = 0.0;
+  std::uint64_t tile_hash = 0;  ///< every TileActivity counter, in order
 
-void BM_FabricStepLoaded(benchmark::State& state) {
-  Fabric fabric(mesh(static_cast<int>(state.range(0))));
-  TrafficGenerator gen(fabric, TrafficPattern::kUniformRandom, 0.2, 4,
-                       Rng(7));
-  for (auto _ : state) gen.step();
-  state.SetItemsProcessed(state.iterations());
-}
+  bool operator==(const DriveRecord&) const = default;
+};
 
-void BM_MessageEndToEnd(benchmark::State& state) {
-  Fabric fabric(mesh(5));
-  for (auto _ : state) {
-    Message m;
-    m.src = 0;
-    m.dst = 24;
-    m.payload.assign(static_cast<std::size_t>(state.range(0)), 1);
-    fabric.send(m);
-    fabric.drain();
-    benchmark::DoNotOptimize(fabric.try_receive(24));
+/// Uniform-random Bernoulli load: the send schedule depends only on the
+/// private Rng (never on fabric responses), so seed and flat engines given
+/// the same seed see byte-identical traffic.
+template <class FabricT>
+DriveRecord drive_uniform(FabricT& fabric, int cycles, double rate,
+                          int words, std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = fabric.node_count();
+  const double p = rate / words;
+  DriveRecord rec;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto note_delivery = [&](int node, const Message& m) {
+    h = mix64(h ^ fabric.now());
+    h = mix64(h ^ static_cast<std::uint64_t>(node));
+    h = mix64(h ^ static_cast<std::uint64_t>(m.src));
+    h = mix64(h ^ m.tag);
+    for (std::uint64_t w : m.payload) h = mix64(h ^ w);
+    ++rec.received;
+  };
+  for (int c = 0; c < cycles; ++c) {
+    for (int src = 0; src < n; ++src) {
+      if (!rng.next_bool(p)) continue;
+      int dst = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(n - 1)));
+      if (dst >= src) ++dst;
+      Message m;
+      m.src = src;
+      m.dst = dst;
+      m.tag = rec.sent;
+      m.payload.assign(static_cast<std::size_t>(words),
+                       static_cast<std::uint64_t>(src) * 1000u +
+                           static_cast<std::uint64_t>(c));
+      fabric.send(m);
+      ++rec.sent;
+    }
+    fabric.step();
+    for (int node = 0; node < n; ++node)
+      while (auto got = fabric.try_receive(node)) note_delivery(node, *got);
   }
+  int guard = 0;
+  while (!fabric.idle()) {
+    fabric.step();
+    for (int node = 0; node < n; ++node)
+      while (auto got = fabric.try_receive(node)) note_delivery(node, *got);
+    RENOC_CHECK_MSG(++guard < 2'000'000, "bench drive failed to drain");
+  }
+  rec.delivery_hash = h;
+  rec.final_cycle = fabric.now();
+
+  const NetworkStats& st = fabric.stats();
+  rec.packets = st.packets_delivered();
+  rec.flits = st.flits_delivered();
+  rec.lat_count = st.packet_latency().count();
+  rec.lat_mean = st.packet_latency().mean();
+  rec.lat_min = st.packet_latency().min();
+  rec.lat_max = st.packet_latency().max();
+  std::uint64_t th = 0x100001b3ULL;
+  for (int t = 0; t < n; ++t) {
+    const TileActivity& a = st.tile(t);
+    for (std::uint64_t v : {a.buffer_writes, a.buffer_reads,
+                            a.crossbar_traversals, a.arbitrations,
+                            a.link_flits, a.injected_flits, a.ejected_flits,
+                            a.pe_compute_ops, a.pe_state_words})
+      th = mix64(th ^ v);
+  }
+  rec.tile_hash = th;
+  return rec;
 }
 
-void BM_SaturatedHotspotDrain(benchmark::State& state) {
-  for (auto _ : state) {
-    Fabric fabric(mesh(4));
-    for (int s = 1; s < 16; ++s) {
+/// All-to-one long-message contention: maximal wormhole blocking and
+/// credit churn on the hotspot column.
+template <class FabricT>
+DriveRecord drive_hotspot(FabricT& fabric, int rounds, int words) {
+  const int n = fabric.node_count();
+  DriveRecord rec;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 1; s < n; ++s) {
       Message m;
       m.src = s;
       m.dst = 0;
-      m.payload.assign(8, 0);
+      m.tag = rec.sent;
+      m.payload.assign(static_cast<std::size_t>(words),
+                       static_cast<std::uint64_t>(s * 37 + r));
       fabric.send(m);
+      ++rec.sent;
     }
-    fabric.drain();
-    for (int i = 0; i < 15; ++i) benchmark::DoNotOptimize(fabric.try_receive(0));
   }
+  int guard = 0;
+  while (!fabric.idle()) {
+    fabric.step();
+    while (auto got = fabric.try_receive(0)) {
+      h = mix64(h ^ fabric.now());
+      h = mix64(h ^ got->tag);
+      h = mix64(h ^ got->payload.front());
+      ++rec.received;
+    }
+    RENOC_CHECK_MSG(++guard < 2'000'000, "hotspot drive failed to drain");
+  }
+  rec.delivery_hash = h;
+  rec.final_cycle = fabric.now();
+  rec.packets = fabric.stats().packets_delivered();
+  rec.flits = fabric.stats().flits_delivered();
+  rec.lat_count = fabric.stats().packet_latency().count();
+  rec.lat_mean = fabric.stats().packet_latency().mean();
+  rec.lat_min = fabric.stats().packet_latency().min();
+  rec.lat_max = fabric.stats().packet_latency().max();
+  return rec;
 }
 
-BENCHMARK(BM_FabricStepIdle)->Arg(4)->Arg(5)->Arg(8);
-BENCHMARK(BM_FabricStepLoaded)->Arg(4)->Arg(5)->Arg(8);
-BENCHMARK(BM_MessageEndToEnd)->Arg(1)->Arg(16)->Arg(128);
-BENCHMARK(BM_SaturatedHotspotDrain);
+NocConfig mesh(int side, int depth = 4) {
+  NocConfig cfg;
+  cfg.dim = GridDim{side, side};
+  cfg.buffer_depth = depth;
+  return cfg;
+}
+
+/// A fabric with `msgs_per_node` uniform-random messages backlogged at
+/// every NI: stepping it exercises a continuously loaded mesh with no
+/// traffic-driver code inside the timed region.
+template <class FabricT>
+FabricT make_backlogged(int side, int msgs_per_node, int words,
+                        std::uint64_t seed) {
+  FabricT fabric(mesh(side));
+  Rng rng(seed);
+  const int n = fabric.node_count();
+  for (int i = 0; i < msgs_per_node; ++i)
+    for (int src = 0; src < n; ++src) {
+      int dst = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(n - 1)));
+      if (dst >= src) ++dst;
+      Message m;
+      m.src = src;
+      m.dst = dst;
+      m.tag = static_cast<std::uint64_t>(i);
+      m.payload.assign(static_cast<std::size_t>(words),
+                       static_cast<std::uint64_t>(src));
+      fabric.send(m);
+    }
+  return fabric;
+}
+
+/// Best-of-N wall time of `cycles` steps on a freshly backlogged fabric —
+/// setup is rebuilt per rep and excluded from the measurement.
+template <class FabricT>
+double time_backlogged_run_ms(double budget_ms, int side, int msgs_per_node,
+                              int words, int cycles) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  double spent = 0.0;
+  int reps = 0;
+  while (reps < 2 || spent < budget_ms) {
+    FabricT fabric = make_backlogged<FabricT>(side, msgs_per_node, words, 5);
+    const auto t0 = clock::now();
+    fabric.run(cycles);
+    const auto t1 = clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    best = std::min(best, ms);
+    spent += ms;
+    ++reps;
+  }
+  return best;
+}
+
+struct CompareRow {
+  std::string scenario;
+  std::uint64_t cycles = 0;
+  std::uint64_t packets = 0;
+  bool bit_exact = false;
+};
+
+struct RateRow {
+  int side = 0;
+  double rate = 0.0;
+  int words = 0;
+  double seed_ms = 0.0;
+  double flat_ms = 0.0;
+  double seed_cps = 0.0;  ///< simulated fabric cycles per wall-clock second
+  double flat_cps = 0.0;
+  double speedup = 0.0;
+};
+
+struct SweepGuard {
+  int scenarios = 0;
+  bool deterministic = true;
+  std::vector<std::pair<int, double>> thread_ms;
+};
+
+bool points_equal(const std::vector<SweepPoint>& a,
+                  const std::vector<SweepPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SweepPoint& x = a[i];
+    const SweepPoint& y = b[i];
+    if (x.messages_sent != y.messages_sent ||
+        x.messages_received != y.messages_received ||
+        x.messages_skipped != y.messages_skipped ||
+        x.packets_delivered != y.packets_delivered ||
+        x.flits_delivered != y.flits_delivered || x.cycles != y.cycles ||
+        x.avg_latency_cycles != y.avg_latency_cycles ||
+        x.max_latency_cycles != y.max_latency_cycles)
+      return false;
+  }
+  return true;
+}
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<CompareRow>& compares,
+                const std::vector<RateRow>& rates, long steady_allocs,
+                const SweepGuard& sweep) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"micro_noc\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(out, "  \"engine_compare\": [\n");
+  for (std::size_t i = 0; i < compares.size(); ++i) {
+    const CompareRow& r = compares[i];
+    std::fprintf(out,
+                 "    {\"scenario\": \"%s\", \"cycles\": %llu, "
+                 "\"packets\": %llu, \"bit_exact\": %s}%s\n",
+                 r.scenario.c_str(),
+                 static_cast<unsigned long long>(r.cycles),
+                 static_cast<unsigned long long>(r.packets),
+                 r.bit_exact ? "true" : "false",
+                 i + 1 < compares.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"step_rate\": [\n");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const RateRow& r = rates[i];
+    std::fprintf(out,
+                 "    {\"mesh\": %d, \"rate\": %.2f, \"words\": %d, "
+                 "\"seed_ms\": %.4f, \"flat_ms\": %.4f, "
+                 "\"seed_cycles_per_sec\": %.0f, "
+                 "\"flat_cycles_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                 r.side, r.rate, r.words, r.seed_ms, r.flat_ms, r.seed_cps,
+                 r.flat_cps, r.speedup, i + 1 < rates.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"steady_state_allocs\": %ld,\n", steady_allocs);
+  std::fprintf(out,
+               "  \"sweep_determinism\": {\"scenarios\": %d, "
+               "\"deterministic\": %s, \"threads\": [\n",
+               sweep.scenarios, sweep.deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < sweep.thread_ms.size(); ++i)
+    std::fprintf(out, "    {\"threads\": %d, \"ms\": %.3f}%s\n",
+                 sweep.thread_ms[i].first, sweep.thread_ms[i].second,
+                 i + 1 < sweep.thread_ms.size() ? "," : "");
+  std::fprintf(out, "  ]}\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run(bool smoke, const std::string& json_path) {
+  const std::vector<int> sides = smoke ? std::vector<int>{4}
+                                       : std::vector<int>{4, 8};
+  const int compare_cycles = smoke ? 400 : 2000;
+  const double budget_ms = smoke ? 15.0 : 400.0;
+  bool ok = true;
+
+  // --- Bit-exactness: seed vs flat on identical schedules ---------------
+  Table cmp_table({"scenario", "cycles", "packets", "bit-exact"});
+  cmp_table.set_title(
+      std::string("Seed (deque/map) vs flat (arena) engine on identical "
+                  "send schedules") +
+      (smoke ? " [smoke]" : ""));
+  std::vector<CompareRow> compares;
+  auto add_compare = [&](const std::string& name, const DriveRecord& ref,
+                         const DriveRecord& flat) {
+    CompareRow row;
+    row.scenario = name;
+    row.cycles = ref.final_cycle;
+    row.packets = ref.packets;
+    row.bit_exact = ref == flat;
+    compares.push_back(row);
+    cmp_table.add_row({row.scenario, std::to_string(row.cycles),
+                       std::to_string(row.packets),
+                       row.bit_exact ? "yes" : "NO"});
+    ok = ok && row.bit_exact;
+  };
+  for (int side : sides)
+    for (double rate : {0.10, 0.30}) {
+      ReferenceFabric ref(mesh(side));
+      Fabric flat(mesh(side));
+      const auto a = drive_uniform(ref, compare_cycles, rate, 4, 42);
+      const auto b = drive_uniform(flat, compare_cycles, rate, 4, 42);
+      add_compare("uniform-" + std::to_string(side) + "x" +
+                      std::to_string(side) + "-r" + Table::num(rate, 2),
+                  a, b);
+    }
+  for (int depth : {1, 4}) {
+    ReferenceFabric ref(mesh(4, depth));
+    Fabric flat(mesh(4, depth));
+    const auto a = drive_hotspot(ref, smoke ? 4 : 12, 16);
+    const auto b = drive_hotspot(flat, smoke ? 4 : 12, 16);
+    add_compare("hotspot-4x4-d" + std::to_string(depth), a, b);
+  }
+  cmp_table.print(std::cout);
+
+  // --- Step-rate: simulated cycles per second, seed vs flat -------------
+  // Every NI starts with a deep uniform backlog and only fabric.run() is
+  // inside the timed region, so this is the cost of step() itself on a
+  // continuously loaded mesh (the acceptance number for the flat engine).
+  Table rate_table({"mesh", "msgs/node", "words", "cycles", "seed ms",
+                    "flat ms", "seed Mcyc/s", "flat Mcyc/s", "speedup"});
+  rate_table.set_title(
+      "Loaded-mesh step rate: pure fabric.run() on a backlogged mesh, "
+      "best-of-N");
+  std::vector<RateRow> rate_rows;
+  for (int side : sides) {
+    RateRow row;
+    row.side = side;
+    row.words = 4;
+    const int msgs_per_node = smoke ? 20 : 60;
+    row.rate = 1.0;  // NIs saturate: one flit injected per node per cycle
+    // Run for 3/4 of the backlog's drain time so the mesh stays loaded
+    // through the whole timed region (verified below).
+    Fabric probe =
+        make_backlogged<Fabric>(side, msgs_per_node, row.words, 5);
+    const int drain_cycles = probe.drain();
+    const int cycles = std::max(50, drain_cycles * 3 / 4);
+    {
+      Fabric check =
+          make_backlogged<Fabric>(side, msgs_per_node, row.words, 5);
+      check.run(cycles);
+      RENOC_CHECK_MSG(!check.idle(),
+                      "timed region outlived the backlog — raise msgs/node");
+    }
+    row.seed_ms = time_backlogged_run_ms<ReferenceFabric>(
+        budget_ms, side, msgs_per_node, row.words, cycles);
+    row.flat_ms = time_backlogged_run_ms<Fabric>(
+        budget_ms, side, msgs_per_node, row.words, cycles);
+    row.seed_cps = static_cast<double>(cycles) / (row.seed_ms / 1e3);
+    row.flat_cps = static_cast<double>(cycles) / (row.flat_ms / 1e3);
+    row.speedup = row.seed_ms / row.flat_ms;
+    rate_rows.push_back(row);
+    rate_table.add_row(
+        {std::to_string(side) + "x" + std::to_string(side),
+         std::to_string(msgs_per_node), std::to_string(row.words),
+         std::to_string(cycles), Table::num(row.seed_ms, 3),
+         Table::num(row.flat_ms, 3), Table::num(row.seed_cps / 1e6, 2),
+         Table::num(row.flat_cps / 1e6, 2), Table::num(row.speedup, 2)});
+  }
+  rate_table.print(std::cout);
+
+  // --- Steady-state allocation guard ------------------------------------
+  // Deterministic periodic load (every node sends a 4-word message to its
+  // east neighbor every 6 cycles, all deliveries recycled): demand on the
+  // payload pool and every ring is exactly periodic, so one warm-up period
+  // reaches every high-water mark and the measured window must perform
+  // ZERO heap allocations. A stochastic load would merely make this
+  // probabilistic — extreme-value queue tails keep finding new maxima.
+  long steady_allocs = 0;
+  {
+    Fabric fabric(mesh(smoke ? 4 : 8));
+    const int n = fabric.node_count();
+    const GridDim dim = fabric.config().dim;
+    auto pump = [&](int cycles) {
+      for (int c = 0; c < cycles; ++c) {
+        if (c % 6 == 0) {
+          for (int src = 0; src < n; ++src) {
+            const GridCoord co = index_to_coord(src, dim);
+            Message m = fabric.acquire_message();
+            m.src = src;
+            m.dst = coord_to_index({(co.x + 1) % dim.width, co.y}, dim);
+            m.tag = static_cast<std::uint64_t>(c);
+            m.payload.assign(4, 0xa5a5a5a5ULL);
+            fabric.send(std::move(m));
+          }
+        }
+        fabric.step();
+        for (int node = 0; node < n; ++node)
+          while (auto msg = fabric.try_receive(node))
+            fabric.recycle(std::move(*msg));
+      }
+    };
+    pump(smoke ? 240 : 600);  // warm-up: pool, rings, staging at high water
+    const long before = g_live_allocs.load(std::memory_order_relaxed);
+    pump(smoke ? 240 : 600);
+    steady_allocs =
+        g_live_allocs.load(std::memory_order_relaxed) - before;
+  }
+  std::printf(
+      "steady-state allocations over the measured step window: %ld\n",
+      steady_allocs);
+  ok = ok && steady_allocs == 0;
+
+  // --- Sweep-harness thread determinism ----------------------------------
+  SweepConfig scfg;
+  scfg.patterns = {TrafficPattern::kUniformRandom, TrafficPattern::kTranspose,
+                   TrafficPattern::kBitReverse};
+  scfg.mesh_sides = {4};
+  scfg.injection_rates = {0.05, 0.25};
+  scfg.message_words = {2, 8};
+  scfg.warmup_cycles = smoke ? 100 : 300;
+  scfg.measure_cycles = smoke ? 300 : 1500;
+  scfg.seed = 99;
+  SweepGuard sweep;
+  sweep.scenarios = static_cast<int>(scfg.scenarios().size());
+  std::vector<SweepPoint> baseline;
+  for (int threads : {1, 2, 4}) {
+    scfg.threads = threads;
+    std::vector<SweepPoint> pts;
+    const double ms =
+        time_ms(smoke ? 1.0 : 50.0, [&] { pts = run_noc_sweep(scfg); });
+    sweep.thread_ms.emplace_back(threads, ms);
+    if (threads == 1)
+      baseline = pts;
+    else if (!points_equal(baseline, pts))
+      sweep.deterministic = false;
+  }
+  Table sweep_table({"threads", "sweep ms", "deterministic"});
+  sweep_table.set_title(
+      "Scenario sweep (" + std::to_string(sweep.scenarios) +
+      " scenarios): results must not depend on thread count");
+  for (const auto& [threads, ms] : sweep.thread_ms)
+    sweep_table.add_row({std::to_string(threads), Table::num(ms, 2),
+                         sweep.deterministic ? "yes" : "NO"});
+  sweep_table.print(std::cout);
+  ok = ok && sweep.deterministic;
+
+  write_json(json_path, smoke, compares, rate_rows, steady_allocs, sweep);
+
+  if (!ok) {
+    std::cerr << "FAIL: flat fabric diverged from the seed reference, "
+                 "allocated in steady state, or the scenario sweep depended "
+                 "on thread count\n";
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace renoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_noc.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return renoc::run(smoke, json_path);
+}

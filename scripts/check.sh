@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # One-shot tier-1 verify: configure, build, and run ctest in Debug and
 # Release with warnings-as-errors, benches, and examples all enabled, then
-# smoke-run the dense-vs-sparse thermal bench and the seed-vs-flat LDPC
-# bench so the bench targets cannot silently rot (both exit nonzero when
-# the fast path diverges from its golden reference).
+# smoke-run the dense-vs-sparse thermal bench and the seed-vs-flat LDPC and
+# NoC benches so the bench targets cannot silently rot. Each BENCH_*.json
+# regression guard exits nonzero when its fast path diverges from the
+# golden reference (bit-exactness, steady-state allocations, thread
+# determinism), and `set -e` turns any such exit into a check failure.
 # Usage: scripts/check.sh [--skip-bench-smoke] [extra cmake args...]
 set -euo pipefail
 
@@ -35,6 +37,9 @@ for config in Debug Release; do
     echo "== ${config}: bench smoke (micro_ldpc) =="
     "${build_dir}/bench/bench_micro_ldpc" --smoke \
       --json "${build_dir}/BENCH_ldpc.json"
+    echo "== ${config}: bench smoke (micro_noc) =="
+    "${build_dir}/bench/bench_micro_noc" --smoke \
+      --json "${build_dir}/BENCH_noc.json"
   fi
 done
 

@@ -62,14 +62,14 @@ MigrationReport MigrationController::migrate(
       // Conversion unit: transforms config/state before transmission.
       fabric_->stats().tile(mv.src_tile).pe_state_words +=
           static_cast<std::uint64_t>(mv.state_words);
-      Message msg;
+      Message msg = fabric_->acquire_message();
       msg.src = mv.src_tile;
       msg.dst = mv.dst_tile;
       msg.tag = kMigrationTag;
       msg.payload.assign(static_cast<std::size_t>(
                              std::max(1, mv.state_words)),
                          0xdead57a7eULL);
-      fabric_->send(msg);
+      fabric_->send(std::move(msg));
       ++report.moves;
       report.state_flits +=
           static_cast<std::uint64_t>(std::max(1, mv.state_words));
@@ -89,6 +89,7 @@ MigrationReport MigrationController::migrate(
       auto msg = fabric_->try_receive(mv.dst_tile);
       RENOC_CHECK_MSG(msg.has_value() && msg->tag == kMigrationTag,
                       "state packet missing at destination");
+      fabric_->recycle(std::move(*msg));
     }
     pure_transfer += fabric_->now() - phase_start;
     // Phase barrier: quiesce detection and configuration commit for this

@@ -17,28 +17,15 @@ void BerConfig::validate() const {
   RENOC_CHECK(threads >= 1);
 }
 
-namespace {
-
-/// SplitMix64 finalizer (the mixer behind Rng's own seeding).
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
-
-}  // namespace
-
 Rng ber_block_rng(std::uint64_t seed, int point, int block) {
   RENOC_CHECK(point >= 0 && block >= 0);
   // Stateless derivation — two chained SplitMix64 steps fold the sweep
   // coordinates into the master seed, so any block of any point is
   // reachable in O(1): the sweep never materializes a seed table, replaying
   // a whole point is linear, and the job space is not bounded by memory.
-  const std::uint64_t z =
-      mix64(seed + kGolden * (static_cast<std::uint64_t>(point) + 1));
-  return Rng(mix64(z + kGolden * (static_cast<std::uint64_t>(block) + 1)));
+  return Rng(derive_stream_seed(
+      derive_stream_seed(seed, static_cast<std::uint64_t>(point)),
+      static_cast<std::uint64_t>(block)));
 }
 
 std::vector<BerPoint> run_ber_sweep(const LdpcCode& code,

@@ -224,7 +224,10 @@ void NocLdpcDecoder::send_phase_messages(int cluster, int phase) {
   const auto& source = is_cn_phase ? r_ : q_;
   const int vpw = params_.values_per_word;
   for (const PairTraffic& pt : pairs) {
-    Message msg;
+    // Pool-backed message: the payload buffer circulates through the
+    // fabric's recycling pool, so per-phase messaging stops allocating
+    // once every buffer size has been seen.
+    Message msg = fabric_->acquire_message();
     msg.src = placement_[static_cast<std::size_t>(cluster)];
     msg.dst = placement_[static_cast<std::size_t>(pt.dst)];
     msg.tag = make_tag(phase, cluster);
@@ -238,7 +241,7 @@ void NocLdpcDecoder::send_phase_messages(int cluster, int phase) {
       msg.payload[i / static_cast<std::size_t>(vpw)] |=
           value << (16u * static_cast<unsigned>(i % vpw));
     }
-    fabric_->send(msg);
+    fabric_->send(std::move(msg));
   }
 }
 
@@ -325,7 +328,10 @@ NocDecodeResult NocLdpcDecoder::decode_block(
   for (;;) {
     // Deliver any completed packets to their clusters.
     for (int tile = 0; tile < fabric_->node_count(); ++tile) {
-      while (auto msg = fabric_->try_receive(tile)) unpack_message(*msg);
+      while (auto msg = fabric_->try_receive(tile)) {
+        unpack_message(*msg);
+        fabric_->recycle(std::move(*msg));
+      }
     }
 
     // Advance every PE's state machine.

@@ -1,10 +1,25 @@
 #include "noc/fabric.hpp"
 
-#include <array>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace renoc {
+
+namespace {
+
+constexpr int kLocal = static_cast<int>(Direction::kLocal);
+
+// opposite() as a table over the four mesh directions (N<->S, E<->W); the
+// commit loop runs it per flit hop.
+constexpr int kOppositeDir[4] = {1, 0, 3, 2};
+
+// Payload buffers kept for reuse; beyond this the pool just frees. High
+// enough that real workloads never hit it, low enough to bound memory if a
+// caller recycles far more than it sends.
+constexpr std::size_t kPayloadPoolCap = 16384;
+
+}  // namespace
 
 void NocConfig::validate() const {
   RENOC_CHECK_MSG(dim.width >= 2 && dim.height >= 2,
@@ -13,45 +28,129 @@ void NocConfig::validate() const {
   RENOC_CHECK(clock_hz > 0);
 }
 
+void Fabric::MessageRing::grow() {
+  std::vector<Message> bigger(buf.empty() ? 4 : buf.size() * 2);
+  for (std::size_t i = 0; i < count; ++i)
+    bigger[i] = std::move(buf[(head + i) % buf.size()]);
+  buf = std::move(bigger);
+  head = 0;
+}
+
 Fabric::Fabric(const NocConfig& config)
-    : config_(config),
-      nis_(static_cast<std::size_t>(config.dim.node_count())),
-      credits_(static_cast<std::size_t>(config.dim.node_count())),
-      stats_(config.dim.node_count()) {
+    : config_(config), stats_(config.dim.node_count()) {
   config_.validate();
-  routers_.reserve(static_cast<std::size_t>(node_count()));
-  for (int i = 0; i < node_count(); ++i)
-    routers_.emplace_back(i, config_.dim, config_.buffer_depth);
-  for (auto& c : credits_) c.fill(config_.buffer_depth);
+  depth_ = config_.buffer_depth;
+  const int n = node_count();
+  const std::size_t nodes = static_cast<std::size_t>(n);
+  const std::size_t ports = nodes * kDirectionCount;
+
+  arena_.resize(ports * static_cast<std::size_t>(depth_));
+  fifo_head_.assign(ports, 0);
+  fifo_size_.assign(ports, 0);
+  head_packet_.assign(ports, 0);
+  head_dst_.assign(ports, 0);
+  head_is_head_.assign(ports, 0);
+  credits_.assign(nodes * 4, depth_);
+  owner_input_.assign(ports, -1);
+  owner_packet_.assign(ports, 0);
+  rr_pointer_.assign(ports, 0);
+  node_buffered_.assign(nodes, 0);
+  nis_.resize(nodes);
+  slots_.resize(nodes * nodes);
+  payload_pool_.reserve(256);
+  planned_.reserve(ports);  // hard cap: one move per output port per cycle
+
+  // Topology tables: downstream node per mesh output, and the XY-routing
+  // decision for every (here, dst) pair. Both replace per-flit coordinate
+  // arithmetic in the hot loops with a single indexed load.
+  neighbor_node_.assign(nodes * 4, -1);
+  route_table_.assign(nodes * nodes, static_cast<std::uint8_t>(kLocal));
+  for (int node = 0; node < n; ++node) {
+    const GridCoord here = index_to_coord(node, config_.dim);
+    for (int d = 0; d < 4; ++d) {
+      const GridCoord nb = neighbor(here, static_cast<Direction>(d));
+      if (in_bounds(nb, config_.dim))
+        neighbor_node_[static_cast<std::size_t>(node) * 4 +
+                       static_cast<std::size_t>(d)] =
+            coord_to_index(nb, config_.dim);
+    }
+    for (int dst = 0; dst < n; ++dst)
+      route_table_[static_cast<std::size_t>(node) * nodes +
+                   static_cast<std::size_t>(dst)] =
+          static_cast<std::uint8_t>(
+              xy_route(here, index_to_coord(dst, config_.dim)));
+  }
+}
+
+void Fabric::push_flit(int node, int port, const Flit& flit) {
+  const std::size_t f = port_index(node, port);
+  RENOC_CHECK_MSG(fifo_size_[f] < depth_, "FIFO overflow at node "
+                                              << node << " port " << port
+                                              << " — credit protocol violated");
+  // Conditional wrap, not %: depth_ is a runtime value, so modulo would
+  // cost an integer division on every ring operation.
+  int slot = fifo_head_[f] + fifo_size_[f];
+  if (slot >= depth_) slot -= depth_;
+  arena_[f * static_cast<std::size_t>(depth_) +
+         static_cast<std::size_t>(slot)] = flit;
+  if (++fifo_size_[f] == 1) refresh_head(f);
+  ++node_buffered_[static_cast<std::size_t>(node)];
+  ++buffered_flits_;
+}
+
+/// Advances FIFO f past its front flit (caller has already consumed it).
+void Fabric::pop_front(int node, std::size_t f) {
+  if (++fifo_head_[f] == depth_) fifo_head_[f] = 0;
+  if (--fifo_size_[f] > 0) refresh_head(f);
+  --node_buffered_[static_cast<std::size_t>(node)];
+  --buffered_flits_;
 }
 
 void Fabric::send(const Message& msg) {
+  send(Message(msg));
+}
+
+void Fabric::send(Message&& msg) {
   RENOC_CHECK_MSG(msg.src >= 0 && msg.src < node_count(),
                   "bad src " << msg.src);
   RENOC_CHECK_MSG(msg.dst >= 0 && msg.dst < node_count(),
                   "bad dst " << msg.dst);
-  nis_[static_cast<std::size_t>(msg.src)].send_queue.push_back(msg);
+  nis_[static_cast<std::size_t>(msg.src)].send_queue.push(std::move(msg));
 }
 
 std::optional<Message> Fabric::try_receive(int node) {
   RENOC_CHECK(node >= 0 && node < node_count());
   auto& ni = nis_[static_cast<std::size_t>(node)];
   if (ni.delivered.empty()) return std::nullopt;
-  Message m = std::move(ni.delivered.front());
-  ni.delivered.pop_front();
+  return ni.delivered.pop();
+}
+
+void Fabric::recycle(Message&& msg) {
+  if (payload_pool_.size() >= kPayloadPoolCap) return;
+  msg.payload.clear();
+  payload_pool_.push_back(std::move(msg.payload));
+}
+
+Message Fabric::acquire_message() {
+  Message m;
+  if (!payload_pool_.empty()) {
+    m.payload = std::move(payload_pool_.back());
+    payload_pool_.pop_back();
+    m.payload.clear();
+  }
   return m;
 }
 
 int Fabric::delivered_count(int node) const {
   RENOC_CHECK(node >= 0 && node < node_count());
-  return static_cast<int>(nis_[static_cast<std::size_t>(node)].delivered.size());
+  return static_cast<int>(
+      nis_[static_cast<std::size_t>(node)].delivered.size());
 }
 
 void Fabric::stage_next_message(int node) {
   auto& ni = nis_[static_cast<std::size_t>(node)];
   if (ni.send_queue.empty()) return;
-  const Message msg = std::move(ni.send_queue.front());
-  ni.send_queue.pop_front();
+  Message msg = ni.send_queue.pop();
 
   const PacketId pid = next_packet_id_++;
   const int nflits = msg.flit_count();
@@ -68,6 +167,7 @@ void Fabric::stage_next_message(int node) {
                                     : msg.payload[static_cast<std::size_t>(i)];
     f.tag = msg.tag;
     f.injected_at = now_;
+    f.pkt_flits = static_cast<std::uint32_t>(nflits);
     if (nflits == 1) {
       f.type = FlitType::kHeadTail;
     } else if (i == 0) {
@@ -79,78 +179,159 @@ void Fabric::stage_next_message(int node) {
     }
     ni.staged_flits.push_back(f);
   }
+  // The staged message's payload buffer goes back to the pool so the next
+  // acquire_message()/reassembly can reuse it.
+  recycle(std::move(msg));
 }
 
 void Fabric::eject_flit(int node, const Flit& flit) {
-  auto& ni = nis_[static_cast<std::size_t>(node)];
   ++stats_.tile(node).ejected_flits;
-  auto& partial = ni.partial[flit.packet];
+  const std::size_t nodes = static_cast<std::size_t>(node_count());
+  ReassemblySlot& slot =
+      slots_[static_cast<std::size_t>(node) * nodes +
+             static_cast<std::size_t>(flit.src)];
   if (flit.is_head()) {
-    partial.msg.src = flit.src;
-    partial.msg.dst = flit.dst;
-    partial.msg.tag = flit.tag;
-    partial.head_injected_at = flit.injected_at;
+    // Wormhole ownership of every traversed port plus FIFO links means a
+    // (src, dst) pair never has two packets interleaved at ejection.
+    RENOC_CHECK_MSG(slot.flits == 0, "reassembly slot busy for src "
+                                         << flit.src << " at node " << node);
+    slot.msg.src = flit.src;
+    slot.msg.dst = flit.dst;
+    slot.msg.tag = flit.tag;
+    slot.head_injected_at = flit.injected_at;
+    // Reserve the whole payload up front from the head flit's packet
+    // length, pulling capacity from the recycling pool when the slot's own
+    // buffer (moved out with the previous delivery) is too small.
+    if (slot.msg.payload.capacity() < flit.pkt_flits &&
+        !payload_pool_.empty()) {
+      slot.msg.payload.swap(payload_pool_.back());
+      payload_pool_.pop_back();
+    }
+    slot.msg.payload.clear();
+    slot.msg.payload.reserve(flit.pkt_flits);
+    ++partial_count_;
   }
-  partial.msg.payload.push_back(flit.payload);
-  ++partial.flits;
+  slot.msg.payload.push_back(flit.payload);
+  ++slot.flits;
   if (flit.is_tail()) {
     // A message sent with an empty payload occupies one flit and is
     // delivered with a single zero word (the wire cannot distinguish the
     // two; see Message::flit_count).
-    stats_.note_packet_delivered(partial.flits,
-                                 now_ - partial.head_injected_at);
-    ni.delivered.push_back(std::move(partial.msg));
-    ni.partial.erase(flit.packet);
+    stats_.note_packet_delivered(slot.flits, now_ - slot.head_injected_at);
+    nis_[static_cast<std::size_t>(node)].delivered.push(std::move(slot.msg));
+    slot.flits = 0;
+    --partial_count_;
   }
 }
 
 void Fabric::step() {
   ++now_;
+  const int n_nodes = node_count();
+  const std::size_t nodes = static_cast<std::size_t>(n_nodes);
+  // Contiguous tile counters, hoisted past tile()'s per-call bounds check
+  // (every index below is a valid node).
+  TileActivity* const tiles = &stats_.tile(0);
 
   // --- Phase 1: arbitration over the pre-cycle state --------------------
+  // Same decision procedure as Router::arbitrate in the reference engine,
+  // inlined over the flat arrays: wormhole continuation first, then
+  // round-robin output allocation among buffered head flits.
   planned_.clear();
-  for (int n = 0; n < node_count(); ++n) {
-    bool credit_ok[kDirectionCount];
-    for (int d = 0; d < 4; ++d)
-      credit_ok[d] = credits_[static_cast<std::size_t>(n)][
-                         static_cast<std::size_t>(d)] > 0;
-    credit_ok[static_cast<int>(Direction::kLocal)] = true;  // ideal ejection
-    const int allocs = routers_[static_cast<std::size_t>(n)].arbitrate(
-        credit_ok, planned_);
-    stats_.tile(n).arbitrations += static_cast<std::uint64_t>(allocs);
+  for (int n = 0; n < n_nodes; ++n) {
+    // A router with no buffered flit can plan nothing: continuations stall
+    // on empty FIFOs and allocations need a head flit. (The reference
+    // arbitrates such routers too, with zero planned moves and a zero
+    // arbitration count — no observable difference.)
+    if (node_buffered_[static_cast<std::size_t>(n)] == 0) continue;
+
+    const std::size_t base = static_cast<std::size_t>(n) * kDirectionCount;
+    const std::size_t credit_base = static_cast<std::size_t>(n) * 4;
+    const std::size_t route_base = static_cast<std::size_t>(n) * nodes;
+    // Input-major pre-pass: each input's desired output (head flit at the
+    // front, routed via the table) is computed once, instead of once per
+    // candidate output in the round-robin scans below.
+    int want[kDirectionCount];
+    for (int in = 0; in < kDirectionCount; ++in) {
+      const std::size_t f = base + static_cast<std::size_t>(in);
+      want[in] =
+          (fifo_size_[f] > 0 && head_is_head_[f] != 0)
+              ? static_cast<int>(
+                    route_table_[route_base +
+                                 static_cast<std::size_t>(head_dst_[f])])
+              : -1;
+    }
+    int new_allocations = 0;
+    for (int o = 0; o < kDirectionCount; ++o) {
+      const bool credit_ok =
+          o == kLocal /* ideal ejection */ ||
+          credits_[credit_base + static_cast<std::size_t>(o)] > 0;
+      const std::size_t out = base + static_cast<std::size_t>(o);
+      const int owner = owner_input_[out];
+      if (owner >= 0) {
+        // Wormhole continuation: move the next flit of the owning packet
+        // if it has arrived and the downstream FIFO can take it.
+        const std::size_t f = base + static_cast<std::size_t>(owner);
+        if (fifo_size_[f] > 0 && head_packet_[f] == owner_packet_[out] &&
+            credit_ok)
+          planned_.push_back(
+              PlannedMove{n, owner, static_cast<Direction>(o)});
+        continue;
+      }
+      if (!credit_ok) continue;
+      // Round-robin over inputs looking for a head flit routed here.
+      const int rr = rr_pointer_[out];
+      for (int k = 1; k <= kDirectionCount; ++k) {
+        int in = rr + k;
+        if (in >= kDirectionCount) in -= kDirectionCount;
+        if (want[in] != o) continue;
+        planned_.push_back(PlannedMove{n, in, static_cast<Direction>(o)});
+        owner_input_[out] = static_cast<std::int8_t>(in);
+        owner_packet_[out] = head_packet_[base + static_cast<std::size_t>(in)];
+        rr_pointer_[out] = static_cast<std::int8_t>(in);
+        ++new_allocations;
+        break;
+      }
+    }
+    tiles[n].arbitrations += static_cast<std::uint64_t>(new_allocations);
   }
 
   // --- Phase 2: commit all planned moves --------------------------------
   for (const PlannedMove& mv : planned_) {
-    Router& r = routers_[static_cast<std::size_t>(mv.node)];
-    const Flit flit = r.pop(mv.in_port);
-    TileActivity& act = stats_.tile(mv.node);
+    const int n = mv.node;
+    const std::size_t f = port_index(n, mv.in_port);
+    // The flit moves arena-to-arena (or arena-to-reassembly) in one copy:
+    // consume it in place, then advance the source ring.
+    const Flit& flit = fifo_front(f);
+    const bool tail = flit.is_tail();
+    TileActivity& act = tiles[n];
     ++act.buffer_reads;
     ++act.crossbar_traversals;
 
     // Credit return toward the upstream router (not for local injection).
-    if (mv.in_port != static_cast<int>(Direction::kLocal)) {
-      const Direction from = static_cast<Direction>(mv.in_port);
-      const GridCoord up = neighbor(r.coord(), from);
-      const int up_node = coord_to_index(up, config_.dim);
-      const int up_out = static_cast<int>(opposite(from));
-      ++credits_[static_cast<std::size_t>(up_node)][
-          static_cast<std::size_t>(up_out)];
+    if (mv.in_port != kLocal) {
+      const int up = neighbor_node_[static_cast<std::size_t>(n) * 4 +
+                                    static_cast<std::size_t>(mv.in_port)];
+      ++credits_[static_cast<std::size_t>(up) * 4 +
+                 static_cast<std::size_t>(kOppositeDir[mv.in_port])];
     }
 
+    const int o = static_cast<int>(mv.out);
     if (mv.out == Direction::kLocal) {
-      eject_flit(mv.node, flit);
-      if (flit.is_tail()) r.release_output(Direction::kLocal);
+      eject_flit(n, flit);
     } else {
-      const GridCoord down = neighbor(r.coord(), mv.out);
-      const int down_node = coord_to_index(down, config_.dim);
-      Router& dr = routers_[static_cast<std::size_t>(down_node)];
-      dr.push(static_cast<int>(opposite(mv.out)), flit);
-      ++stats_.tile(down_node).buffer_writes;
+      const int down = neighbor_node_[static_cast<std::size_t>(n) * 4 +
+                                      static_cast<std::size_t>(o)];
+      push_flit(down, kOppositeDir[o], flit);
+      ++tiles[down].buffer_writes;
       ++act.link_flits;
-      --credits_[static_cast<std::size_t>(mv.node)][
-          static_cast<std::size_t>(static_cast<int>(mv.out))];
-      if (flit.is_tail()) r.release_output(mv.out);
+      --credits_[static_cast<std::size_t>(n) * 4 +
+                 static_cast<std::size_t>(o)];
+    }
+    pop_front(n, f);
+    if (tail) {
+      const std::size_t out = port_index(n, o);
+      owner_input_[out] = -1;
+      owner_packet_[out] = 0;
     }
   }
 
@@ -159,15 +340,13 @@ void Fabric::step() {
 }
 
 void Fabric::inject_phase() {
-  const int local = static_cast<int>(Direction::kLocal);
   for (int n = 0; n < node_count(); ++n) {
     auto& ni = nis_[static_cast<std::size_t>(n)];
     if (!ni.enabled) continue;
     if (ni.staged_pos >= ni.staged_flits.size()) stage_next_message(n);
     if (ni.staged_pos >= ni.staged_flits.size()) continue;
-    Router& r = routers_[static_cast<std::size_t>(n)];
-    if (r.fifo_space(local) <= 0) continue;
-    r.push(local, ni.staged_flits[ni.staged_pos++]);
+    if (fifo_size_[port_index(n, kLocal)] >= depth_) continue;
+    push_flit(n, kLocal, ni.staged_flits[ni.staged_pos++]);
     TileActivity& act = stats_.tile(n);
     ++act.injected_flits;
     ++act.buffer_writes;
@@ -190,12 +369,14 @@ int Fabric::drain(int max_cycles) {
 }
 
 bool Fabric::idle() const {
-  for (const Router& r : routers_)
-    if (!r.quiescent()) return false;
+  // No buffered flit also implies no wormhole grant can be pending (a held
+  // grant means a tail flit is still staged or buffered somewhere), and no
+  // active reassembly (its tail would be in flight) — so these two counters
+  // plus the NI queues cover the reference engine's full quiescence check.
+  if (buffered_flits_ != 0 || partial_count_ != 0) return false;
   for (const auto& ni : nis_) {
     if (!ni.send_queue.empty()) return false;
     if (ni.staged_pos < ni.staged_flits.size()) return false;
-    if (!ni.partial.empty()) return false;
   }
   return true;
 }
@@ -213,8 +394,7 @@ bool Fabric::injection_enabled(int node) const {
 int Fabric::pending_send_count(int node) const {
   RENOC_CHECK(node >= 0 && node < node_count());
   const auto& ni = nis_[static_cast<std::size_t>(node)];
-  int staged_left =
-      static_cast<int>(ni.staged_flits.size() - ni.staged_pos) > 0 ? 1 : 0;
+  const int staged_left = ni.staged_pos < ni.staged_flits.size() ? 1 : 0;
   return static_cast<int>(ni.send_queue.size()) + staged_left;
 }
 

@@ -21,12 +21,48 @@
 // Ejection is ideal (unbounded reassembly buffers); injection queues are
 // unbounded but serialize at one flit per cycle. Both are standard
 // simulator idealizations and are documented in DESIGN.md.
+//
+// --- Flat engine memory layout ---------------------------------------------
+//
+// One LDPC block costs ~55k fabric cycles and the DTM studies step the mesh
+// millions of times, so step() is a first-class hot loop. The seed
+// implementation (preserved in noc/reference_fabric.{hpp,cpp} as the
+// bit-exactness oracle) kept a Router object per tile with five std::deque
+// FIFOs and reassembled packets through an unordered_map; this engine keeps
+// the identical cycle semantics but lays every piece of per-cycle state out
+// as flat per-fabric arrays. With N = node_count, P = kDirectionCount (5),
+// D = buffer_depth, and f = node * P + port:
+//
+//   arena_         Flit[N*P*D]   all input FIFOs, carved from one buffer;
+//                                FIFO f is the fixed-capacity ring
+//                                arena_[f*D .. f*D+D-1]
+//   fifo_head_/fifo_size_ [N*P]  ring cursors for each FIFO
+//   credits_       int[N*4]      free downstream slots per mesh output
+//   owner_input_   int8[N*P]     wormhole grant: input that owns output
+//                                (-1 = free)
+//   owner_packet_  PacketId[N*P] packet holding the grant
+//   rr_pointer_    int8[N*P]     round-robin arbitration cursor
+//   neighbor_node_ int[N*4]      downstream node per mesh output (-1 edge)
+//   route_table_   uint8[N*N]    XY output port for (here, dst), computed
+//                                once instead of per-flit coordinate math
+//   slots_         [N*N]         packet reassembly, one slot per (dst, src)
+//                                pair — wormhole + XY + FIFO links ensure at
+//                                most one packet per pair is ever in flight,
+//                                replacing the seed's unordered_map
+//
+// Two-phase plan/commit is unchanged: arbitration appends PlannedMoves to a
+// reused scratch vector from the pre-cycle snapshot, then the commit loop
+// applies them; no intra-cycle ordering can leak. All per-cycle scratch
+// (planned moves, NI staging buffers, reassembly payloads, delivered rings)
+// is reused across cycles, and message payload buffers circulate through an
+// internal recycling pool (see recycle()/acquire_message()), so step()
+// performs zero heap allocations once the workload reaches steady state —
+// bench/micro_noc.cpp asserts this and the bit-exactness against the
+// reference on every run.
 #pragma once
 
-#include <array>
-#include <deque>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "floorplan/grid.hpp"
@@ -59,9 +95,22 @@ class Fabric {
   /// Enqueues a message at its source NI. The message must have valid src
   /// and dst node indices. Injection order per source is FIFO.
   void send(const Message& msg);
+  /// Move overload: steals the payload buffer instead of copying it. Hot
+  /// senders should pair this with acquire_message()/recycle() so payload
+  /// buffers circulate instead of being reallocated per message.
+  void send(Message&& msg);
 
   /// Pops the next fully-reassembled message delivered to `node`, if any.
   std::optional<Message> try_receive(int node);
+
+  /// Returns a consumed message's payload buffer to the fabric's recycling
+  /// pool. Optional — but consumers that recycle make the whole
+  /// send→inject→eject→receive loop allocation-free in steady state.
+  void recycle(Message&& msg);
+
+  /// A fresh Message whose payload capacity comes from the recycling pool
+  /// when one is available (fields zeroed, payload empty).
+  Message acquire_message();
 
   /// Number of delivered-but-unread messages at `node`.
   int delivered_count(int node) const;
@@ -91,37 +140,100 @@ class Fabric {
   const NetworkStats& stats() const { return stats_; }
 
  private:
+  /// Vector-backed message FIFO. Pops reuse slots and growth happens only
+  /// at the high-water mark, so steady-state push/pop never touches the
+  /// heap (std::deque churns chunk allocations at block seams even when
+  /// its size is stationary).
+  struct MessageRing {
+    std::vector<Message> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    void push(Message&& m) {
+      if (count == buf.size()) grow();
+      buf[(head + count) % buf.size()] = std::move(m);
+      ++count;
+    }
+    Message pop() {
+      Message m = std::move(buf[head]);
+      head = (head + 1) % buf.size();
+      --count;
+      return m;
+    }
+    void grow();
+  };
+
   /// Per-node network interface state.
   struct NetworkInterface {
     bool enabled = true;
-    std::deque<Message> send_queue;
-    // Serializer state for the message currently being injected.
+    MessageRing send_queue;
+    // Serializer workspace for the message currently being injected
+    // (cleared and refilled per message; capacity persists).
     std::vector<Flit> staged_flits;
     std::size_t staged_pos = 0;
-    std::deque<Message> delivered;
-    // Reassembly of incoming packets by packet id.
-    struct Partial {
-      Message msg;
-      Cycle head_injected_at = 0;
-      int flits = 0;
-    };
-    std::unordered_map<PacketId, Partial> partial;
+    MessageRing delivered;
   };
+
+  /// Reassembly state for the (dst, src) pair's in-flight packet.
+  struct ReassemblySlot {
+    Message msg;
+    Cycle head_injected_at = 0;
+    int flits = 0;  ///< 0 = no packet in progress
+  };
+
+  std::size_t port_index(int node, int port) const {
+    return static_cast<std::size_t>(node) * kDirectionCount +
+           static_cast<std::size_t>(port);
+  }
+  const Flit& fifo_front(std::size_t f) const {
+    return arena_[f * static_cast<std::size_t>(depth_) +
+                  static_cast<std::size_t>(fifo_head_[f])];
+  }
+  void refresh_head(std::size_t f) {
+    const Flit& fl = fifo_front(f);
+    head_packet_[f] = fl.packet;
+    head_dst_[f] = fl.dst;
+    head_is_head_[f] = fl.is_head() ? 1 : 0;
+  }
+  void push_flit(int node, int port, const Flit& flit);
+  void pop_front(int node, std::size_t f);
 
   void stage_next_message(int node);
   void inject_phase();
   void eject_flit(int node, const Flit& flit);
 
   NocConfig config_;
+  int depth_ = 0;  ///< config_.buffer_depth, hoisted for the ring math
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;
-  std::vector<Router> routers_;
+
+  // Flat per-fabric router state (layout documented in the header comment).
+  std::vector<Flit> arena_;
+  std::vector<int> fifo_head_;
+  std::vector<int> fifo_size_;
+  // Head-flit metadata mirrors (refreshed whenever a FIFO's front
+  // changes): the arbitration scan reads only these dense arrays instead
+  // of striding 48-byte Flits out of the arena.
+  std::vector<PacketId> head_packet_;
+  std::vector<int> head_dst_;
+  std::vector<std::uint8_t> head_is_head_;
+  std::vector<int> credits_;
+  std::vector<std::int8_t> owner_input_;
+  std::vector<PacketId> owner_packet_;
+  std::vector<std::int8_t> rr_pointer_;
+  std::vector<int> neighbor_node_;
+  std::vector<std::uint8_t> route_table_;
+  std::vector<int> node_buffered_;  ///< flits buffered per node (early-out)
+  int buffered_flits_ = 0;          ///< total flits in all FIFOs
+  int partial_count_ = 0;           ///< active reassembly slots, all nodes
+
   std::vector<NetworkInterface> nis_;
-  // credits_[node][dir]: free downstream slots for the output `dir` of
-  // `node` (mesh directions only; ejection is always available).
-  std::vector<std::array<int, 4>> credits_;
+  std::vector<ReassemblySlot> slots_;  ///< [dst * N + src]
+  std::vector<std::vector<std::uint64_t>> payload_pool_;
   NetworkStats stats_;
-  std::vector<PlannedMove> planned_;  // scratch, reused across cycles
+  std::vector<PlannedMove> planned_;  // scratch, reserved once
 };
 
 }  // namespace renoc

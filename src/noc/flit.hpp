@@ -29,6 +29,11 @@ struct Flit {
   std::uint64_t payload = 0;
   std::uint64_t tag = 0;  ///< message tag, replicated from the message
   Cycle injected_at = 0;  ///< cycle the head entered the injection queue
+  /// Total flits of the carrying packet, stamped at staging. Lets the
+  /// receiver reserve the full payload on the head flit instead of growing
+  /// one push_back per body flit (real NoC headers carry packet length for
+  /// the same reason).
+  std::uint32_t pkt_flits = 1;
 
   bool is_head() const {
     return type == FlitType::kHead || type == FlitType::kHeadTail;

@@ -13,6 +13,14 @@
 // move per output port from a consistent pre-cycle snapshot, and the Fabric
 // commits all planned moves afterwards. This two-phase split is what makes
 // the simulation order-independent and cycle-accurate.
+//
+// NOTE: this per-object Router (deque FIFOs, per-instance wormhole state)
+// is the seed implementation and now backs only the ReferenceFabric oracle
+// in noc/reference_fabric.{hpp,cpp}. The production Fabric in
+// noc/fabric.{hpp,cpp} inlines the identical arbitration loop over flat
+// per-fabric arrays (one flit arena, flat credit/owner/round-robin state);
+// PlannedMove below is shared by both engines. Keep this file's behavior
+// frozen — the flat engine is tested bit-for-bit against it.
 #pragma once
 
 #include <cstdint>

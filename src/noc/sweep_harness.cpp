@@ -1,0 +1,189 @@
+#include "noc/sweep_harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace renoc {
+
+void SweepConfig::validate() const {
+  RENOC_CHECK_MSG(!patterns.empty(), "sweep needs at least one pattern");
+  RENOC_CHECK_MSG(!mesh_sides.empty(), "sweep needs at least one mesh side");
+  RENOC_CHECK_MSG(!injection_rates.empty(),
+                  "sweep needs at least one injection rate");
+  RENOC_CHECK_MSG(!message_words.empty(),
+                  "sweep needs at least one message length");
+  for (int side : mesh_sides)
+    RENOC_CHECK_MSG(side >= 2, "mesh side must be >= 2, got " << side);
+  for (double rate : injection_rates)
+    RENOC_CHECK_MSG(rate > 0.0 && rate <= 1.0,
+                    "injection rate must be in (0, 1], got " << rate);
+  for (int words : message_words)
+    RENOC_CHECK_MSG(words >= 1, "message length must be >= 1");
+  RENOC_CHECK(buffer_depth >= 1);
+  RENOC_CHECK(warmup_cycles >= 0);
+  RENOC_CHECK(measure_cycles >= 1);
+  RENOC_CHECK(drain_max_cycles >= 1);
+  RENOC_CHECK(threads >= 1);
+  burst.validate();
+  // TrafficGenerator's own precondition, hoisted here so an infeasible
+  // burst/rate combination fails up front instead of inside a worker.
+  for (double rate : injection_rates)
+    for (int words : message_words)
+      RENOC_CHECK_MSG(
+          rate / words / burst.duty_cycle() <= 1.0,
+          "on-state injection probability exceeds 1 for rate "
+              << rate << ", " << words
+              << "-word messages — raise the burst duty cycle");
+}
+
+std::vector<SweepScenario> SweepConfig::scenarios() const {
+  std::vector<SweepScenario> out;
+  out.reserve(patterns.size() * mesh_sides.size() * injection_rates.size() *
+              message_words.size());
+  for (TrafficPattern pattern : patterns)
+    for (int side : mesh_sides)
+      for (double rate : injection_rates)
+        for (int words : message_words) {
+          SweepScenario sc;
+          sc.pattern = pattern;
+          sc.dim = GridDim{side, side};
+          sc.injection_rate = rate;
+          sc.message_words = words;
+          sc.burst = burst;
+          out.push_back(sc);
+        }
+  return out;
+}
+
+Rng sweep_scenario_rng(std::uint64_t seed, int scenario_index) {
+  RENOC_CHECK(scenario_index >= 0);
+  // Stateless derivation (same idiom as ber_block_rng): any scenario's
+  // stream is reachable in O(1), so replaying one scenario never
+  // re-simulates the grid before it.
+  return Rng(derive_stream_seed(seed,
+                                static_cast<std::uint64_t>(scenario_index)));
+}
+
+SweepPoint run_noc_scenario(const SweepScenario& scenario,
+                            const SweepConfig& cfg, int scenario_index) {
+  NocConfig ncfg;
+  ncfg.dim = scenario.dim;
+  ncfg.buffer_depth = cfg.buffer_depth;
+  Fabric fabric(ncfg);
+  TrafficGenerator gen(fabric, scenario.pattern, scenario.injection_rate,
+                       scenario.message_words,
+                       sweep_scenario_rng(cfg.seed, scenario_index),
+                       scenario.hotspot, scenario.burst);
+
+  gen.run(cfg.warmup_cycles);
+  // Measure from a clean slate: warm-up packets drop out of the stats, and
+  // every packet delivered from here on (including the drain tail) has its
+  // latency recorded.
+  fabric.stats().clear();
+  const std::uint64_t sent0 = gen.messages_sent();
+  const std::uint64_t received0 = gen.messages_received();
+  const std::uint64_t skipped0 = gen.messages_skipped();
+  const Cycle measure_start = fabric.now();
+
+  gen.run(cfg.measure_cycles);
+  // Accepted throughput counts only flits that arrived inside the measure
+  // window — the drain below exists so measured packets' latencies land in
+  // the stats, and must not inflate the throughput curve (a saturated mesh
+  // has to show accepted < offered).
+  const std::uint64_t flits_in_window = fabric.stats().flits_delivered();
+
+  SweepPoint point;
+  point.scenario = scenario;
+  point.scenario_index = scenario_index;
+  point.messages_sent = gen.messages_sent() - sent0;
+  point.messages_skipped = gen.messages_skipped() - skipped0;
+
+  // Drain so in-flight measured packets land (injection stops: the
+  // generator is no longer stepped, and the fabric has nothing staged
+  // beyond its queues).
+  std::uint64_t drain_received = 0;
+  int drained = 0;
+  while (!fabric.idle()) {
+    fabric.step();
+    for (int node = 0; node < fabric.node_count(); ++node)
+      while (auto msg = fabric.try_receive(node)) {
+        ++drain_received;
+        fabric.recycle(std::move(*msg));
+      }
+    RENOC_CHECK_MSG(++drained <= cfg.drain_max_cycles,
+                    "scenario failed to drain in " << cfg.drain_max_cycles
+                                                   << " cycles");
+  }
+  point.messages_received =
+      gen.messages_received() - received0 + drain_received;
+
+  const NetworkStats& stats = fabric.stats();
+  point.packets_delivered = stats.packets_delivered();
+  point.flits_delivered = stats.flits_delivered();
+  point.avg_latency_cycles = stats.packet_latency().mean();
+  point.max_latency_cycles = stats.packet_latency().max();
+  point.cycles = fabric.now() - measure_start;
+
+  const double node_cycles =
+      static_cast<double>(scenario.dim.node_count()) *
+      static_cast<double>(cfg.measure_cycles);
+  point.offered_flit_rate =
+      static_cast<double>(point.messages_sent + point.messages_skipped) *
+      scenario.message_words / node_cycles;
+  point.injected_flit_rate =
+      static_cast<double>(point.messages_sent) * scenario.message_words /
+      node_cycles;
+  point.accepted_flit_rate =
+      static_cast<double>(flits_in_window) / node_cycles;
+  return point;
+}
+
+std::vector<SweepPoint> run_noc_sweep(const SweepConfig& cfg) {
+  cfg.validate();
+  const std::vector<SweepScenario> grid = cfg.scenarios();
+  std::vector<SweepPoint> results(grid.size());
+
+  // Scenario-level parallelism: each scenario is simulated end to end by
+  // one worker into its preassigned slot, so the merge is the identity and
+  // any schedule yields identical results. A scenario failure (e.g. drain
+  // timeout) is captured and rethrown after the join — an exception
+  // escaping a worker thread would std::terminate the process.
+  std::atomic<int> cursor{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= static_cast<int>(grid.size())) break;
+      try {
+        results[static_cast<std::size_t>(i)] =
+            run_noc_scenario(grid[static_cast<std::size_t>(i)], cfg, i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int workers = std::min<int>(cfg.threads,
+                                    static_cast<int>(grid.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace renoc

@@ -1,0 +1,102 @@
+// Multithreaded NoC scenario-sweep harness.
+//
+// Latency/throughput characterization over a grid of {traffic pattern,
+// mesh size, injection rate, message length} scenarios, spread over
+// std::thread workers. Mirrors ldpc/ber_harness's determinism design:
+//
+//   - every scenario gets its own RNG stream, derived statelessly from
+//     (config seed, scenario index) by a SplitMix64 chain — never from the
+//     worker that happens to run it;
+//   - workers pull scenario indices from a shared atomic cursor and each
+//     scenario is simulated end to end by exactly one worker, writing its
+//     SweepPoint into a preassigned slot;
+//   - no cross-scenario state exists, so the result vector is bit-identical
+//     for any thread count, and any single scenario can be replayed in
+//     isolation with run_noc_scenario().
+//
+// Methodology per scenario: warm up, clear the stats, measure for a fixed
+// window, then drain so every measured packet's latency is recorded.
+// Offered load is reported both including and excluding pattern fixed-point
+// skips (see TrafficGenerator::messages_skipped) so measured offered load
+// can be checked against the configured rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/fabric.hpp"
+#include "noc/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace renoc {
+
+/// One point of the sweep grid.
+struct SweepScenario {
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  GridDim dim{4, 4};
+  double injection_rate = 0.1;  ///< flits/node/cycle
+  int message_words = 4;
+  BurstParams burst{};
+  int hotspot = 0;
+};
+
+struct SweepConfig {
+  std::vector<TrafficPattern> patterns = {TrafficPattern::kUniformRandom};
+  std::vector<int> mesh_sides = {4};          ///< square meshes, side length
+  std::vector<double> injection_rates = {0.1};
+  std::vector<int> message_words = {4};
+  BurstParams burst{};       ///< applied to every scenario
+  int buffer_depth = 4;
+  int warmup_cycles = 500;
+  int measure_cycles = 2000;
+  int drain_max_cycles = 2'000'000;
+  int threads = 1;           ///< worker thread count (>= 1)
+  std::uint64_t seed = 1;    ///< master seed for all per-scenario streams
+
+  void validate() const;
+
+  /// The scenario grid in its fixed enumeration order (pattern-major, then
+  /// mesh side, injection rate, message length). Index i here is the
+  /// scenario index fed to sweep_scenario_rng.
+  std::vector<SweepScenario> scenarios() const;
+};
+
+/// Measured results for one scenario.
+struct SweepPoint {
+  SweepScenario scenario;
+  int scenario_index = 0;
+
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;  ///< incl. drain-phase deliveries
+  std::uint64_t messages_skipped = 0;   ///< pattern fixed-point draws
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+
+  double offered_flit_rate = 0.0;   ///< incl. skips — tracks the config rate
+  double injected_flit_rate = 0.0;  ///< offered minus skips
+  /// Flits that *arrived within the measure window*, per node per cycle.
+  /// Drain-phase arrivals are excluded so a saturated mesh shows
+  /// accepted < offered (they still feed the latency stats below).
+  double accepted_flit_rate = 0.0;
+
+  double avg_latency_cycles = 0.0;  ///< head injection to tail ejection
+  double max_latency_cycles = 0.0;
+  std::uint64_t cycles = 0;         ///< measure + drain cycles simulated
+};
+
+/// Runs the sweep; returns one SweepPoint per scenario in scenarios()
+/// order, independent of cfg.threads.
+std::vector<SweepPoint> run_noc_sweep(const SweepConfig& cfg);
+
+/// The RNG stream scenario `scenario_index` uses — exposed so tests and
+/// examples can replay the exact simulation a sweep measured. O(1): the
+/// stream seed is a stateless mix of the two coordinates.
+Rng sweep_scenario_rng(std::uint64_t seed, int scenario_index);
+
+/// Simulates one scenario exactly as the sweep would (same RNG stream,
+/// same warm-up/measure/drain schedule). run_noc_sweep(cfg)[i] ==
+/// run_noc_scenario(cfg.scenarios()[i], cfg, i) for every i.
+SweepPoint run_noc_scenario(const SweepScenario& scenario,
+                            const SweepConfig& cfg, int scenario_index);
+
+}  // namespace renoc

@@ -7,12 +7,11 @@
 namespace renoc {
 namespace {
 
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
 std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  x += kGolden;
+  return mix64(x);
 }
 
 std::uint64_t rotl(std::uint64_t x, int k) {
@@ -20,6 +19,16 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 
 }  // namespace
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) {
+  return mix64(seed + kGolden * (index + 1));
+}
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;

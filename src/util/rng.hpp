@@ -11,6 +11,18 @@
 
 namespace renoc {
 
+/// SplitMix64 finalizer — the avalanche mixer behind Rng's own seeding,
+/// exposed so harnesses can hash/mix deterministically with one shared
+/// definition.
+std::uint64_t mix64(std::uint64_t z);
+
+/// Seed for an independent stream keyed by (seed, index):
+/// mix64(seed + golden_ratio * (index + 1)). Chain it to fold more
+/// coordinates (ldpc/ber_harness folds point then block). Stateless and
+/// O(1), so sweeps never materialize seed tables and any element can be
+/// replayed in isolation.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index);
+
 /// xoshiro256** PRNG with SplitMix64 seeding.
 class Rng {
  public:
