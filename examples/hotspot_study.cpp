@@ -8,11 +8,19 @@
 //
 //   ./build/examples/hotspot_study        # defaults to E
 //   ./build/examples/hotspot_study A
+//
+// The evaluation sections run through the library's sweep machinery
+// rather than hand-rolled loops: the scheme comparison uses
+// ExperimentDriver::scheme_study (cached migration measurements shared
+// across periods) and the scheme x period x refinement grid uses the
+// threaded experiment sweep harness seeded with the driver's measured
+// power map.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/experiment_sweep.hpp"
 #include "core/thermal_runtime.hpp"
 #include "power/power_map.hpp"
 #include "thermal/solver.hpp"
@@ -84,11 +92,36 @@ int run(const std::string& name) {
   }
 
   std::printf("\nfull evaluation (migration energy + ripple included):\n");
-  for (MigrationScheme scheme : figure1_schemes()) {
-    const SchemeEvaluation ev = driver.evaluate_scheme(scheme);
+  for (const SchemeEvaluation& ev : driver.scheme_study(figure1_schemes())) {
     std::printf("  %-12s peak %.2f C  reduction %+.2f C  cost %.2f%%\n",
-                to_string(scheme), ev.peak_temp_c, ev.reduction_c,
+                to_string(ev.scheme), ev.peak_temp_c, ev.reduction_c,
                 ev.throughput_penalty * 100);
+  }
+
+  // Scheme x period x refinement grid over the measured workload map,
+  // spread over worker threads by the experiment sweep harness (results
+  // are thread-count-invariant; any cell can be replayed in isolation
+  // with run_experiment_scenario).
+  ExperimentSweepConfig scfg;
+  scfg.dim = dim;
+  scfg.schemes = figure1_schemes();
+  scfg.periods_s = {driver.default_period_s(), 4 * driver.default_period_s()};
+  scfg.refines = {1, 2};
+  scfg.base_tile_power = driver.base_power();
+  scfg.power_jitter = 0.0;  // the measured map, unperturbed
+  scfg.migration_energy_j = 0.0;
+  scfg.threads = 4;
+  std::printf(
+      "\nsweep: scheme x {1x, 4x} period x {1, 2} refine "
+      "(%d scenarios, %d threads)\n",
+      static_cast<int>(scfg.scenarios().size()), scfg.threads);
+  std::printf("  %-12s %9s %7s %9s %10s %8s\n", "scheme", "period us",
+              "refine", "peak C", "reduction", "ripple");
+  for (const ExperimentSweepPoint& pt : run_experiment_sweep(scfg)) {
+    std::printf("  %-12s %9.1f %7d %9.2f %+10.2f %8.3f\n",
+                to_string(pt.scenario.scheme), pt.scenario.period_s * 1e6,
+                pt.scenario.refine, pt.peak_temp_c, pt.reduction_c,
+                pt.ripple_c);
   }
   return 0;
 }

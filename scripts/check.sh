@@ -40,6 +40,9 @@ for config in Debug Release; do
     echo "== ${config}: bench smoke (micro_noc) =="
     "${build_dir}/bench/bench_micro_noc" --smoke \
       --json "${build_dir}/BENCH_noc.json"
+    echo "== ${config}: bench smoke (micro_runtime) =="
+    "${build_dir}/bench/bench_micro_runtime" --smoke \
+      --json "${build_dir}/BENCH_runtime.json"
   fi
 done
 

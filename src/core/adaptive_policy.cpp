@@ -40,10 +40,12 @@ AdaptivePolicy::~AdaptivePolicy() = default;
 void AdaptivePolicy::set_candidates(std::vector<Transform> candidates) {
   RENOC_CHECK_MSG(!candidates.empty(), "need at least one candidate");
   candidates_.clear();
+  candidate_perms_.clear();
   for (const Transform& t : candidates) {
     if (t.kind == TransformKind::kRotation && dim_.width != dim_.height)
       continue;  // rotation is not closed on non-square meshes
     candidates_.push_back(t);
+    candidate_perms_.push_back(t.permutation(dim_));
   }
   RENOC_CHECK(!candidates_.empty());
 }
@@ -67,18 +69,18 @@ double AdaptivePolicy::predicted_peak(
 }
 
 double AdaptivePolicy::history_score(
-    const Transform& t, const std::vector<double>& current_power,
-    const std::vector<double>& state_rise) const {
+    const std::vector<int>& perm, const Transform& t,
+    const std::vector<double>& current_power,
+    const std::vector<double>& state_rise) {
   // Sensor heuristic: penalize placing high-power workloads onto tiles
   // that are currently hot. Score = sum_i P_moved[i] * T_i; lower is
   // better (hot tiles get cool workloads and vice versa). Identity gets a
   // small hysteresis bonus so negligible gains do not trigger pointless
   // migrations.
-  const std::vector<double> moved =
-      apply_permutation(current_power, t.permutation(dim_));
+  apply_permutation_into(current_power, perm, moved_);
   double score = 0.0;
   for (int i = 0; i < net_->die_count(); ++i)
-    score += moved[static_cast<std::size_t>(i)] *
+    score += moved_[static_cast<std::size_t>(i)] *
              (net_->ambient() + state_rise[static_cast<std::size_t>(i)]);
   if (t.kind == TransformKind::kIdentity) score *= 0.999;
   return score;
@@ -94,28 +96,81 @@ double AdaptivePolicy::orbit_average_score(
   return steady_->peak_die_temperature(average_maps(maps));
 }
 
-Transform AdaptivePolicy::choose(const std::vector<double>& current_power,
-                                 const std::vector<double>& state_rise) {
+void AdaptivePolicy::predictive_scores_batch(
+    const std::vector<double>& current_power,
+    const std::vector<double>& state_rise, std::vector<double>& scores) {
+  // All candidates' lookahead trajectories advance together as one
+  // row-major n x k block: every backward-Euler step performs a single
+  // factor traversal (TransientSolver::step_multi) instead of k
+  // independent integrations. The blocked kernels replicate the scalar
+  // arithmetic per column, so scores[j] bit-matches
+  // predicted_peak(candidates()[j], ...).
+  const int k = static_cast<int>(candidates_.size());
+  const auto uk = static_cast<std::size_t>(k);
+  const std::size_t n = static_cast<std::size_t>(net_->node_count());
+  const std::size_t die = static_cast<std::size_t>(net_->die_count());
+
+  power_block_.assign(n * uk, 0.0);
+  state_block_.resize(n * uk);
+  for (std::size_t j = 0; j < uk; ++j) {
+    apply_permutation_into(current_power, candidate_perms_[j], moved_);
+    for (std::size_t i = 0; i < die; ++i)
+      power_block_[i * uk + j] = moved_[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = state_rise[i];
+    double* row = &state_block_[i * uk];
+    for (std::size_t j = 0; j < uk; ++j) row[j] = s;
+  }
+  for (int s = 0; s < lookahead_steps_; ++s)
+    lookahead_->step_multi(power_block_, state_block_, k);
+
+  scores.resize(uk);
+  for (std::size_t j = 0; j < uk; ++j) {
+    // Column-j peak over die nodes, matching peak_die_rise's first-entry
+    // seed followed by max over the remaining die nodes.
+    double peak = state_block_[j];
+    for (std::size_t i = 1; i < die; ++i)
+      peak = std::max(peak, state_block_[i * uk + j]);
+    scores[j] = net_->ambient() + peak;
+  }
+}
+
+std::vector<double> AdaptivePolicy::candidate_scores(
+    const std::vector<double>& current_power,
+    const std::vector<double>& state_rise) {
   RENOC_CHECK(static_cast<int>(current_power.size()) == dim_.node_count());
   RENOC_CHECK(static_cast<int>(state_rise.size()) == net_->node_count());
+  std::vector<double> scores;
+  switch (objective_) {
+    case AdaptiveObjective::kPredictivePeak:
+      predictive_scores_batch(current_power, state_rise, scores);
+      break;
+    case AdaptiveObjective::kCoolestHistory:
+      scores.reserve(candidates_.size());
+      for (std::size_t j = 0; j < candidates_.size(); ++j)
+        scores.push_back(history_score(candidate_perms_[j], candidates_[j],
+                                       current_power, state_rise));
+      break;
+    case AdaptiveObjective::kOrbitAverage:
+      scores.reserve(candidates_.size());
+      for (const Transform& t : candidates_)
+        scores.push_back(orbit_average_score(t, current_power));
+      break;
+  }
+  return scores;
+}
+
+Transform AdaptivePolicy::choose(const std::vector<double>& current_power,
+                                 const std::vector<double>& state_rise) {
+  const std::vector<double> scores =
+      candidate_scores(current_power, state_rise);
   const Transform* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
-  for (const Transform& t : candidates_) {
-    double score = 0.0;
-    switch (objective_) {
-      case AdaptiveObjective::kPredictivePeak:
-        score = predicted_peak(t, current_power, state_rise);
-        break;
-      case AdaptiveObjective::kCoolestHistory:
-        score = history_score(t, current_power, state_rise);
-        break;
-      case AdaptiveObjective::kOrbitAverage:
-        score = orbit_average_score(t, current_power);
-        break;
-    }
-    if (score < best_score) {
-      best_score = score;
-      best = &t;
+  for (std::size_t j = 0; j < candidates_.size(); ++j) {
+    if (scores[j] < best_score) {
+      best_score = scores[j];
+      best = &candidates_[j];
     }
   }
   RENOC_CHECK(best != nullptr);

@@ -50,6 +50,11 @@ std::vector<double> ExperimentDriver::measure_power_map(
 
 void ExperimentDriver::prepare(int measure_blocks) {
   RENOC_CHECK(measure_blocks >= 1);
+  // Re-preparing rebuilds the network and recalibrates, so every cached
+  // runtime (which points at the old RcNetwork) and migration measurement
+  // (scaled by the old calibration) must go first.
+  runtime_cache_.clear();
+  migration_cache_.clear();
   built_ = std::make_unique<BuiltChip>(build_chip(cfg_));
   net_ = std::make_unique<RcNetwork>(
       build_rc_network(built_->floorplan, cfg_.hotspot));
@@ -71,64 +76,58 @@ void ExperimentDriver::prepare(int measure_blocks) {
       measure_power_map(placement_, measure_blocks, 1.0);
 
   // --- Calibration: scale so the steady peak equals the paper ----------
-  const std::vector<double> rise = steady.solve_die_power(raw);
-  const double peak_rise = net_->peak_die_rise(rise);
+  steady.solve_die_power_into(raw, rise_scratch_);
+  const double peak_rise = net_->peak_die_rise(rise_scratch_);
   RENOC_CHECK_MSG(peak_rise > 0, "non-positive peak rise — no power?");
   calibration_scale_ =
       (cfg_.paper_base_peak_c - cfg_.hotspot.ambient) / peak_rise;
   base_power_ = raw;
   scale_map(base_power_, calibration_scale_);
 
-  const std::vector<double> rise_cal = steady.solve_die_power(base_power_);
-  base_peak_temp_c_ = net_->ambient() + net_->peak_die_rise(rise_cal);
-  base_mean_temp_c_ = net_->ambient() + net_->mean_die_rise(rise_cal);
+  steady.solve_die_power_into(base_power_, rise_scratch_);
+  base_peak_temp_c_ = net_->ambient() + net_->peak_die_rise(rise_scratch_);
+  base_mean_temp_c_ = net_->ambient() + net_->mean_die_rise(rise_scratch_);
   prepared_ = true;
 }
 
 std::vector<double> ExperimentDriver::baseline_die_temps() const {
   RENOC_CHECK(prepared_);
-  const std::vector<double> rise = steady_->solve_die_power(base_power_);
+  steady_->solve_die_power_into(base_power_, rise_scratch_);
   std::vector<double> temps(static_cast<std::size_t>(net_->die_count()));
   for (int i = 0; i < net_->die_count(); ++i)
     temps[static_cast<std::size_t>(i)] =
-        net_->ambient() + rise[static_cast<std::size_t>(i)];
+        net_->ambient() + rise_scratch_[static_cast<std::size_t>(i)];
   return temps;
 }
 
-SchemeEvaluation ExperimentDriver::evaluate_scheme(
-    MigrationScheme scheme, std::optional<double> period_opt) {
-  RENOC_CHECK_MSG(prepared_, "call prepare() first");
-  const double period_s = period_opt.value_or(default_period_s());
-  RENOC_CHECK(period_s > 0);
-
-  SchemeEvaluation eval;
-  eval.scheme = scheme;
-  eval.period_s = period_s;
-
-  ThermalRunOptions topt;
-  topt.period_s = period_s;
-  MigrationThermalRuntime runtime(*net_, topt);
-
-  if (scheme == MigrationScheme::kNone) {
-    const auto orbit = std::vector<std::vector<int>>{
-        identity_permutation(cfg_.dim.node_count())};
-    const ThermalRunResult r = runtime.run(base_power_, orbit, {});
-    eval.orbit_length = 1;
-    eval.peak_temp_c = r.peak_temp_c;
-    eval.reduction_c = 0.0;
-    eval.mean_temp_c = r.mean_temp_c;
-    eval.thermal_converged = r.converged;
-    return eval;
+MigrationThermalRuntime& ExperimentDriver::runtime_for(double period_s) {
+  auto it = runtime_cache_.find(period_s);
+  if (it == runtime_cache_.end()) {
+    ThermalRunOptions topt;
+    topt.period_s = period_s;
+    it = runtime_cache_
+             .emplace(period_s,
+                      std::make_unique<MigrationThermalRuntime>(*net_, topt))
+             .first;
   }
+  return *it->second;
+}
+
+const ExperimentDriver::MigrationMeasurement&
+ExperimentDriver::measure_migration(MigrationScheme scheme) {
+  const auto cached = migration_cache_.find(scheme);
+  if (cached != migration_cache_.end()) return cached->second;
 
   const Transform transform = transform_of(scheme);
-  const auto orbit = orbit_permutations(transform, cfg_.dim);
-  const std::size_t L = orbit.size();
-  eval.orbit_length = static_cast<int>(L);
+  MigrationMeasurement m;
+  m.orbit = orbit_permutations(transform, cfg_.dim);
+  const std::size_t L = m.orbit.size();
 
   // --- Simulate the real migrations to get timing and energy -----------
   // A fresh fabric carries only migration traffic; per-step stats deltas
   // become per-step energy maps (calibrated like the workload power).
+  // Everything below depends only on the scheme (never on the migration
+  // period), which is what makes this cacheable across a period sweep.
   Fabric fabric(cfg_.noc);
   NocLdpcDecoder decoder(fabric, built_->code, built_->partition, placement_,
                          cfg_.ldpc_params);
@@ -163,34 +162,84 @@ SchemeEvaluation ExperimentDriver::evaluate_scheme(
     halt_seconds_sum +=
         static_cast<double>(rep.total_cycles) / cfg_.noc.clock_hz;
     if (k == 0) {
-      eval.phases = rep.phases;
-      eval.state_flits = rep.state_flits;
+      m.phases = rep.phases;
+      m.state_flits = rep.state_flits;
     }
   }
   // Orbit closure: after L migrations the placement must return home.
   RENOC_CHECK_MSG(placement == placement_,
                   "orbit did not close after L migrations");
 
-  eval.migration_s = halt_seconds_sum / static_cast<double>(L);
-  eval.migration_energy_j = energy_sum / static_cast<double>(L);
+  m.halt_mean_s = halt_seconds_sum / static_cast<double>(L);
+  m.energy_mean_j = energy_sum / static_cast<double>(L);
+
+  // Segment seg runs under orbit[seg]; the migration that starts segment
+  // seg is measured step (seg-1+L) mod L.
+  m.migration_energy.resize(L);
+  for (std::size_t seg = 0; seg < L; ++seg)
+    m.migration_energy[seg] = step_energy[(seg + L - 1) % L];
+
+  return migration_cache_.emplace(scheme, std::move(m)).first->second;
+}
+
+SchemeEvaluation ExperimentDriver::evaluate_scheme(
+    MigrationScheme scheme, std::optional<double> period_opt) {
+  RENOC_CHECK_MSG(prepared_, "call prepare() first");
+  const double period_s = period_opt.value_or(default_period_s());
+  RENOC_CHECK(period_s > 0);
+
+  SchemeEvaluation eval;
+  eval.scheme = scheme;
+  eval.period_s = period_s;
+
+  MigrationThermalRuntime& runtime = runtime_for(period_s);
+
+  if (scheme == MigrationScheme::kNone) {
+    const auto orbit = std::vector<std::vector<int>>{
+        identity_permutation(cfg_.dim.node_count())};
+    const ThermalRunResult r = runtime.run(base_power_, orbit, {});
+    eval.orbit_length = 1;
+    eval.peak_temp_c = r.peak_temp_c;
+    eval.reduction_c = 0.0;
+    eval.mean_temp_c = r.mean_temp_c;
+    eval.thermal_converged = r.converged;
+    return eval;
+  }
+
+  const MigrationMeasurement& m = measure_migration(scheme);
+  eval.orbit_length = static_cast<int>(m.orbit.size());
+  eval.phases = m.phases;
+  eval.state_flits = m.state_flits;
+  eval.migration_s = m.halt_mean_s;
+  eval.migration_energy_j = m.energy_mean_j;
   eval.throughput_penalty =
       eval.migration_s / (period_s + eval.migration_s);
 
   // --- Thermal co-simulation --------------------------------------------
-  // Segment seg runs under orbit[seg]; the migration that starts segment
-  // seg is measured step (seg-1+L) mod L.
-  std::vector<std::vector<double>> migration_energy(L);
-  for (std::size_t seg = 0; seg < L; ++seg)
-    migration_energy[seg] = step_energy[(seg + L - 1) % L];
-
   const ThermalRunResult r =
-      runtime.run(base_power_, orbit, migration_energy);
+      runtime.run(base_power_, m.orbit, m.migration_energy);
   eval.peak_temp_c = r.peak_temp_c;
   eval.reduction_c = base_peak_temp_c_ - r.peak_temp_c;
   eval.mean_temp_c = r.mean_temp_c;
   eval.ripple_c = r.ripple_c;
   eval.thermal_converged = r.converged;
   return eval;
+}
+
+std::vector<SchemeEvaluation> ExperimentDriver::scheme_study(
+    const std::vector<MigrationScheme>& schemes,
+    const std::vector<double>& periods) {
+  RENOC_CHECK_MSG(prepared_, "call prepare() first");
+  RENOC_CHECK_MSG(!schemes.empty(), "scheme study needs at least one scheme");
+  std::vector<double> study_periods = periods;
+  if (study_periods.empty()) study_periods.push_back(default_period_s());
+
+  std::vector<SchemeEvaluation> evals;
+  evals.reserve(schemes.size() * study_periods.size());
+  for (const MigrationScheme scheme : schemes)
+    for (const double period : study_periods)
+      evals.push_back(evaluate_scheme(scheme, period));
+  return evals;
 }
 
 }  // namespace renoc

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
-#include "power/power_map.hpp"
 #include "util/check.hpp"
+#include "util/matrix.hpp"
+#include "util/sparse.hpp"
 
 namespace renoc {
 
@@ -15,11 +17,75 @@ void ThermalRunOptions::validate() const {
   RENOC_CHECK(tol_c > 0);
 }
 
+// Streamed orbit-integration state: factorizations plus every buffer the
+// hot loop touches, so a warmed engine runs without heap allocation. The
+// sparse and dense backends share one code path through `order` — the
+// factor's elimination order for the sparse backend (state, power maps,
+// and C/dt all live permuted, so SparseLdlt::solve_permuted_in_place
+// needs no per-step permutation passes), the identity for the dense LU
+// fallback.
+struct MigrationThermalRuntime::Engine {
+  Engine(const RcNetwork& net, double dt) : steady(net) {
+    const int n = net.node_count();
+    // Shared assembly helpers (thermal/solver.cpp uses the same ones), so
+    // the engine's step matrix is bit-identical to the reference path's.
+    const std::vector<double> c_over_dt = step_capacitance_diagonal(net, dt);
+
+    switch (resolve_solver_backend(SolverBackend::kAuto, n)) {
+      case SolverBackend::kSparse: {
+        const SparseMatrix step =
+            net.conductance_sparse().plus_diagonal(c_over_dt);
+        ldlt = std::make_unique<SparseLdlt>(step,
+                                            minimum_degree_ordering(step));
+        order = ldlt->permutation();
+        break;
+      }
+      case SolverBackend::kDense:
+      case SolverBackend::kAuto: {
+        lu = std::make_unique<LuFactorization>(
+            dense_step_matrix(net, c_over_dt));
+        order.resize(static_cast<std::size_t>(n));
+        for (int k = 0; k < n; ++k) order[static_cast<std::size_t>(k)] = k;
+        break;
+      }
+    }
+
+    cd_ord.resize(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+      cd_ord[static_cast<std::size_t>(k)] =
+          c_over_dt[static_cast<std::size_t>(order[static_cast<std::size_t>(
+              k)])];
+    for (int k = 0; k < n; ++k)
+      if (order[static_cast<std::size_t>(k)] < net.die_count())
+        die_slot.push_back(k);
+  }
+
+  SteadyStateSolver steady;
+  std::unique_ptr<SparseLdlt> ldlt;     // minimum-degree (C/dt + G), or
+  std::unique_ptr<LuFactorization> lu;  // ... the dense LU fallback
+  std::vector<int> order;     // order[k] = original node streamed at slot k
+  std::vector<double> cd_ord;  // C/dt in slot order
+  std::vector<int> die_slot;  // slots holding die nodes, ascending
+
+  // Per-run workspaces (sized on first use, reused afterwards).
+  std::vector<double> moved;        // one segment's permuted die map
+  std::vector<double> avg;          // orbit-averaged die map
+  std::vector<double> steady_rise;  // steady state of avg (natural order)
+  std::vector<double> static_rise;  // static-case solve (natural order)
+  std::vector<double> seg_power;    // L x n segment powers, slot order
+  std::vector<double> spike_power;  // L x n spiked powers, slot order
+  std::vector<double> state;        // n, slot order
+  std::vector<int> perm_seen;       // epoch marks for orbit validation
+  int perm_epoch = 0;
+};
+
 MigrationThermalRuntime::MigrationThermalRuntime(const RcNetwork& net,
                                                  ThermalRunOptions options)
     : net_(&net), options_(options) {
   options_.validate();
 }
+
+MigrationThermalRuntime::~MigrationThermalRuntime() = default;
 
 int MigrationThermalRuntime::steps_per_period() const {
   return std::max(
@@ -37,70 +103,102 @@ ThermalRunResult MigrationThermalRuntime::run(
   RENOC_CHECK_MSG(migration_energy.empty() || migration_energy.size() == L,
                   "need one migration-energy map per orbit step");
 
-  // Per-segment power maps.
-  std::vector<std::vector<double>> segment_power;
-  segment_power.reserve(L);
-  for (const auto& perm : orbit)
-    segment_power.push_back(apply_permutation(base_power, perm));
+  const int steps = steps_per_period();
+  const double dt = options_.period_s / steps;
+  if (!engine_) engine_ = std::make_unique<Engine>(net, dt);
+  Engine& e = *engine_;
 
-  // Orbit-averaged map including amortized migration energy.
-  std::vector<double> avg = average_maps(segment_power);
+  const int n = net.node_count();
+  const int die = net.die_count();
+  const auto un = static_cast<std::size_t>(n);
+  const auto ud = static_cast<std::size_t>(die);
+
+  // Segment power maps in slot order, plus the orbit average (same
+  // element-wise sum/scale order as the reference path's average_maps).
+  e.perm_seen.resize(ud, 0);
+  e.moved.resize(ud);
+  e.avg.assign(ud, 0.0);
+  e.seg_power.resize(L * un);
+  for (std::size_t seg = 0; seg < L; ++seg) {
+    const std::vector<int>& perm = orbit[seg];
+    RENOC_CHECK_MSG(perm.size() == ud,
+                    "orbit permutation " << seg << " has size " << perm.size()
+                                         << ", expected " << die);
+    ++e.perm_epoch;
+    for (std::size_t i = 0; i < ud; ++i) {
+      const int p = perm[i];
+      RENOC_CHECK_MSG(p >= 0 && p < die,
+                      "permutation entry " << p << " out of range");
+      RENOC_CHECK_MSG(e.perm_seen[static_cast<std::size_t>(p)] !=
+                          e.perm_epoch,
+                      "permutation repeats entry " << p);
+      e.perm_seen[static_cast<std::size_t>(p)] = e.perm_epoch;
+      e.moved[static_cast<std::size_t>(p)] = base_power[i];
+    }
+    for (std::size_t i = 0; i < ud; ++i) e.avg[i] += e.moved[i];
+    double* sp = &e.seg_power[seg * un];
+    for (std::size_t k = 0; k < un; ++k) {
+      const int orig = e.order[k];
+      sp[k] = orig < die ? e.moved[static_cast<std::size_t>(orig)] : 0.0;
+    }
+  }
+  const double inv_l = 1.0 / static_cast<double>(L);
+  for (std::size_t i = 0; i < ud; ++i) e.avg[i] *= inv_l;
   if (!migration_energy.empty()) {
     for (const auto& e_map : migration_energy) {
       RENOC_CHECK(e_map.size() == base_power.size());
-      for (std::size_t i = 0; i < avg.size(); ++i)
-        avg[i] += e_map[i] / (options_.period_s * static_cast<double>(L));
+      for (std::size_t i = 0; i < ud; ++i)
+        e.avg[i] += e_map[i] / (options_.period_s * static_cast<double>(L));
     }
   }
 
-  if (!steady_) steady_ = std::make_unique<SteadyStateSolver>(net);
-  const std::vector<double> steady_rise = steady_->solve_die_power(avg);
+  e.steady.solve_die_power_into(e.avg, e.steady_rise);
 
   ThermalRunResult result;
   result.steady_peak_of_avg_c =
-      net.ambient() + net.peak_die_rise(steady_rise);
+      net.ambient() + net.peak_die_rise(e.steady_rise);
 
   // Static case: a single identity segment with no migration energy is in
-  // steady state already.
+  // steady state already (e.moved still holds segment 0's map here).
   const bool is_static = (L == 1) && migration_energy.empty();
   if (is_static) {
-    const std::vector<double> rise =
-        steady_->solve_die_power(segment_power[0]);
-    result.peak_temp_c = net.ambient() + net.peak_die_rise(rise);
-    result.mean_temp_c = net.ambient() + net.mean_die_rise(rise);
+    e.steady.solve_die_power_into(e.moved, e.static_rise);
+    result.peak_temp_c = net.ambient() + net.peak_die_rise(e.static_rise);
+    result.mean_temp_c = net.ambient() + net.mean_die_rise(e.static_rise);
     result.ripple_c = 0.0;
     result.orbits_run = 0;
     result.converged = true;
     return result;
   }
 
-  // Snap dt so an integer number of steps covers one period. Both the step
-  // count and dt are fixed by options_, so the factorization is reused
-  // across run() calls; only the state is re-seeded.
-  const int steps = steps_per_period();
-  const double dt = options_.period_s / steps;
-  if (!transient_) transient_ = std::make_unique<TransientSolver>(net, dt);
-  TransientSolver& transient = *transient_;
-  transient.set_state(steady_rise);
-
-  // Pre-expand each segment's die power to a full-node vector once, and
-  // pre-fold the migration spike (energy / dt extra watts for the first
-  // step of the segment) into its own full vector — the hot loop below
-  // then never allocates or re-expands.
-  std::vector<std::vector<double>> segment_full(L);
-  std::vector<std::vector<double>> spiked_full;
-  if (!migration_energy.empty())
-    spiked_full.resize(L);
-  for (std::size_t seg = 0; seg < L; ++seg) {
-    segment_full[seg] = net.expand_die_power(segment_power[seg]);
-    if (!migration_energy.empty()) {
-      const auto& e_map = migration_energy[seg];
-      spiked_full[seg] = segment_full[seg];
-      for (std::size_t i = 0; i < e_map.size(); ++i)
-        spiked_full[seg][i] += e_map[i] / dt;
+  // Migration spikes: energy / dt extra watts on the first step of each
+  // segment, pre-folded into slot-order power vectors.
+  const bool spiked = !migration_energy.empty();
+  if (spiked) {
+    e.spike_power.resize(L * un);
+    for (std::size_t seg = 0; seg < L; ++seg) {
+      const std::vector<double>& e_map = migration_energy[seg];
+      const double* sp = &e.seg_power[seg * un];
+      double* spk = &e.spike_power[seg * un];
+      for (std::size_t k = 0; k < un; ++k) {
+        const int orig = e.order[k];
+        spk[k] = orig < die
+                     ? sp[k] + e_map[static_cast<std::size_t>(orig)] / dt
+                     : sp[k];
+      }
     }
   }
 
+  // Seed the transient state from the averaged steady solution and stream
+  // the backward-Euler orbit loop: fused RHS build, permutation-free
+  // solve, and a single fused peak/mean gather over the die slots.
+  e.state.resize(un);
+  for (std::size_t k = 0; k < un; ++k)
+    e.state[k] =
+        e.steady_rise[static_cast<std::size_t>(e.order[k])];
+
+  const double ambient = net.ambient();
+  const double* cd = e.cd_ord.data();
   double prev_orbit_peak = result.steady_peak_of_avg_c;
   double mean_accum = 0.0;
   std::uint64_t mean_samples = 0;
@@ -109,14 +207,29 @@ ThermalRunResult MigrationThermalRuntime::run(
     double orbit_peak = -1e300;
     double peak_node_min = 1e300;  // min over time of the instantaneous peak
     for (std::size_t seg = 0; seg < L; ++seg) {
+      const double* seg_p = &e.seg_power[seg * un];
+      const double* spike_p = spiked ? &e.spike_power[seg * un] : nullptr;
       for (int step = 0; step < steps; ++step) {
-        const bool spike = step == 0 && !spiked_full.empty();
-        transient.step(spike ? spiked_full[seg] : segment_full[seg]);
-        const double peak_rise = net.peak_die_rise(transient.state());
-        orbit_peak = std::max(orbit_peak, net.ambient() + peak_rise);
-        peak_node_min =
-            std::min(peak_node_min, net.ambient() + peak_rise);
-        mean_accum += net.ambient() + net.mean_die_rise(transient.state());
+        const double* p = (step == 0 && spiked) ? spike_p : seg_p;
+        double* st = e.state.data();
+        // Fused in-place RHS build: each slot is read once and overwritten,
+        // so the step needs no second n-vector in cache.
+        for (std::size_t k = 0; k < un; ++k) st[k] = cd[k] * st[k] + p[k];
+        if (e.ldlt)
+          e.ldlt->solve_permuted_in_place(st);
+        else
+          e.lu->solve_in_place(e.state);
+        double peak_rise = -1e300;
+        double sum = 0.0;
+        for (const int slot : e.die_slot) {
+          const double v = st[slot];
+          peak_rise = std::max(peak_rise, v);
+          sum += v;
+        }
+        const double peak_abs = ambient + peak_rise;
+        orbit_peak = std::max(orbit_peak, peak_abs);
+        peak_node_min = std::min(peak_node_min, peak_abs);
+        mean_accum += ambient + sum / die;
         ++mean_samples;
       }
     }

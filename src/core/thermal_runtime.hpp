@@ -18,6 +18,24 @@
 //
 // For the static baseline pass an orbit of {identity} and zero migration
 // energy: the result collapses to the steady-state solution.
+//
+// Implementation: this is the *engine* flavour of the orbit integration —
+// the hot loop streams entirely in the factor's elimination order through
+// persistent per-instance workspaces. Per run() it precomputes every
+// segment's expanded + permuted power map and migration-spike vector once;
+// per step it fuses the C/dt * state + P right-hand-side build, calls the
+// permutation-free SparseLdlt::solve_permuted_in_place on a
+// minimum-degree-ordered factor (about half the fill of the default RCM
+// ordering), and folds the peak/mean die scans into one gather. After the
+// first run() with a given problem shape, run() performs zero heap
+// allocations. Sub-cutoff networks (and RENOC_DENSE_SOLVE=1) keep the
+// dense LU backend with the same persistent-workspace streaming in
+// natural order.
+//
+// The pre-engine scalar path is preserved verbatim as the semantics
+// oracle in core/reference_runtime; the engine agrees with it to <= 1e-10
+// on every ThermalRunResult field (tests/thermal_runtime_test pins this,
+// bench/micro_runtime re-checks it and measures the speedup).
 #pragma once
 
 #include <memory>
@@ -52,6 +70,7 @@ struct ThermalRunResult {
 class MigrationThermalRuntime {
  public:
   MigrationThermalRuntime(const RcNetwork& net, ThermalRunOptions options);
+  ~MigrationThermalRuntime();
 
   /// `base_power`: per-tile watts of the workload in its baseline
   /// placement. `orbit`: accumulated permutations [id, T, T^2, ...].
@@ -71,14 +90,14 @@ class MigrationThermalRuntime {
   /// so an integer count fits; the snapped dt is period_s / this).
   int steps_per_period() const;
 
-  // Both factorizations depend only on net_ and options_, so they are
-  // built on the first run() and reused by every later one (the transient
-  // state is re-seeded from the steady solution each run). Mutable lazy
-  // caches; not thread-safe, like the rest of the library.
+  // Factorizations and workspaces depend only on net_ and options_ (plus
+  // problem shape, which only grows buffers), so they are built on the
+  // first run() and reused by every later one. Mutable lazy state; not
+  // thread-safe, like the rest of the library.
+  struct Engine;
   const RcNetwork* net_;
   ThermalRunOptions options_;
-  mutable std::unique_ptr<SteadyStateSolver> steady_;
-  mutable std::unique_ptr<TransientSolver> transient_;
+  mutable std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace renoc

@@ -17,17 +17,23 @@ LeakageLoopResult solve_leakage_fixed_point(
 
   LeakageLoopResult result;
   result.die_temps.assign(dynamic_power.size(), net.ambient());
+  result.total_power.resize(dynamic_power.size());
 
+  // One rise workspace reused across iterations: the loop body rebuilds
+  // total_power in place and solves into `rise` via the _into API, so no
+  // iteration allocates (the original path returned a fresh rise vector
+  // and copy-assigned total_power every pass).
+  std::vector<double> rise;
   for (int iter = 0; iter < max_iterations; ++iter) {
     result.iterations = iter + 1;
     // Power at the current temperature estimate.
-    result.total_power = dynamic_power;
+    std::copy(dynamic_power.begin(), dynamic_power.end(),
+              result.total_power.begin());
     for (std::size_t i = 0; i < result.total_power.size(); ++i)
       result.total_power[i] +=
           energy.tile_leakage_power(result.die_temps[i]);
 
-    const std::vector<double> rise =
-        solver.solve_die_power(result.total_power);
+    solver.solve_die_power_into(result.total_power, rise);
     double max_delta = 0.0;
     bool finite = true;
     for (int i = 0; i < net.die_count(); ++i) {

@@ -19,12 +19,20 @@ void check_permutation(const std::vector<int>& perm) {
 
 std::vector<double> apply_permutation(const std::vector<double>& power,
                                       const std::vector<int>& perm) {
+  std::vector<double> out;
+  apply_permutation_into(power, perm, out);
+  return out;
+}
+
+void apply_permutation_into(const std::vector<double>& power,
+                            const std::vector<int>& perm,
+                            std::vector<double>& out) {
   RENOC_CHECK(power.size() == perm.size());
+  RENOC_CHECK_MSG(&power != &out, "power and output must be distinct");
   check_permutation(perm);
-  std::vector<double> out(power.size());
+  out.resize(power.size());
   for (std::size_t i = 0; i < power.size(); ++i)
     out[static_cast<std::size_t>(perm[i])] = power[i];
-  return out;
 }
 
 std::vector<double> average_maps(

@@ -16,6 +16,14 @@ namespace renoc {
 std::vector<double> apply_permutation(const std::vector<double>& power,
                                       const std::vector<int>& perm);
 
+/// apply_permutation() into a caller-provided buffer (`out` is resized and
+/// overwritten; must not alias `power`), so reused buffers make repeated
+/// permutations allocation-free. Results are bit-identical to
+/// apply_permutation().
+void apply_permutation_into(const std::vector<double>& power,
+                            const std::vector<int>& perm,
+                            std::vector<double>& out);
+
 /// Verifies that perm is a bijection on [0, perm.size()); throws otherwise.
 void check_permutation(const std::vector<int>& perm);
 

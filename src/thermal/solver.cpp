@@ -13,34 +13,6 @@ bool dense_forced_by_env() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-SolverBackend resolve_backend(SolverBackend requested, int node_count) {
-  if (requested != SolverBackend::kAuto) return requested;
-  if (dense_forced_by_env()) return SolverBackend::kDense;
-  return node_count < kDenseNodeCutoff ? SolverBackend::kDense
-                                       : SolverBackend::kSparse;
-}
-
-std::vector<double> c_over_dt_diagonal(const RcNetwork& net, double dt) {
-  RENOC_CHECK_MSG(dt > 0.0, "transient dt must be positive");
-  std::vector<double> d(static_cast<std::size_t>(net.node_count()));
-  for (int i = 0; i < net.node_count(); ++i) {
-    const auto u = static_cast<std::size_t>(i);
-    d[u] = net.capacitance()[u] / dt;
-  }
-  return d;
-}
-
-/// Dense (C/dt + G) for the LU fallback path.
-Matrix dense_step_matrix(const RcNetwork& net,
-                         const std::vector<double>& c_over_dt) {
-  Matrix m = net.conductance();
-  for (int i = 0; i < net.node_count(); ++i) {
-    const auto u = static_cast<std::size_t>(i);
-    m(u, u) += c_over_dt[u];
-  }
-  return m;
-}
-
 /// Copies die power into the leading entries of a full-node scratch vector
 /// whose package tail is already zero (allocation-free expand_die_power).
 const std::vector<double>& expand_into(const RcNetwork& net,
@@ -56,10 +28,39 @@ const std::vector<double>& expand_into(const RcNetwork& net,
 
 }  // namespace
 
+SolverBackend resolve_solver_backend(SolverBackend requested,
+                                     int node_count) {
+  if (requested != SolverBackend::kAuto) return requested;
+  if (dense_forced_by_env()) return SolverBackend::kDense;
+  return node_count < kDenseNodeCutoff ? SolverBackend::kDense
+                                       : SolverBackend::kSparse;
+}
+
+std::vector<double> step_capacitance_diagonal(const RcNetwork& net,
+                                              double dt) {
+  RENOC_CHECK_MSG(dt > 0.0, "transient dt must be positive");
+  std::vector<double> d(static_cast<std::size_t>(net.node_count()));
+  for (int i = 0; i < net.node_count(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    d[u] = net.capacitance()[u] / dt;
+  }
+  return d;
+}
+
+Matrix dense_step_matrix(const RcNetwork& net,
+                         const std::vector<double>& c_over_dt) {
+  Matrix m = net.conductance();
+  for (int i = 0; i < net.node_count(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m(u, u) += c_over_dt[u];
+  }
+  return m;
+}
+
 SteadyStateSolver::SteadyStateSolver(const RcNetwork& net,
                                      SolverBackend backend)
     : net_(&net) {
-  switch (resolve_backend(backend, net.node_count())) {
+  switch (resolve_solver_backend(backend, net.node_count())) {
     case SolverBackend::kSparse:
       ldlt_ = std::make_unique<SparseLdlt>(net.conductance_sparse());
       break;
@@ -76,9 +77,27 @@ std::vector<double> SteadyStateSolver::solve(
   return ldlt_ ? ldlt_->solve(power) : lu_->solve(power);
 }
 
+void SteadyStateSolver::solve_into(const std::vector<double>& power,
+                                   std::vector<double>& rise) const {
+  RENOC_CHECK(static_cast<int>(power.size()) == net_->node_count());
+  rise.resize(power.size());
+  std::copy(power.begin(), power.end(), rise.begin());
+  if (ldlt_)
+    ldlt_->solve_in_place(rise);
+  else
+    lu_->solve_in_place(rise);
+}
+
 std::vector<double> SteadyStateSolver::solve_die_power(
     const std::vector<double>& die_power) const {
   return solve(expand_into(*net_, die_power, full_power_));
+}
+
+void SteadyStateSolver::solve_die_power_into(
+    const std::vector<double>& die_power, std::vector<double>& rise) const {
+  RENOC_CHECK_MSG(&die_power != &rise,
+                  "die power and rise buffers must be distinct");
+  solve_into(expand_into(*net_, die_power, full_power_), rise);
 }
 
 double SteadyStateSolver::peak_die_temperature(
@@ -91,10 +110,10 @@ TransientSolver::TransientSolver(const RcNetwork& net, double dt,
                                  SolverBackend backend)
     : net_(&net),
       dt_(dt),
-      c_over_dt_(c_over_dt_diagonal(net, dt)),
+      c_over_dt_(step_capacitance_diagonal(net, dt)),
       state_(static_cast<std::size_t>(net.node_count()), 0.0),
       rhs_(static_cast<std::size_t>(net.node_count()), 0.0) {
-  switch (resolve_backend(backend, net.node_count())) {
+  switch (resolve_solver_backend(backend, net.node_count())) {
     case SolverBackend::kSparse:
       step_ldlt_ = std::make_unique<SparseLdlt>(
           net.conductance_sparse().plus_diagonal(c_over_dt_));
@@ -129,6 +148,30 @@ void TransientSolver::step(const std::vector<double>& power) {
   std::swap(state_, rhs_);
 }
 
+void TransientSolver::step_multi(const std::vector<double>& powers,
+                                 std::vector<double>& states, int nrhs) {
+  RENOC_CHECK_MSG(nrhs >= 1, "need at least one trajectory");
+  const std::size_t expected =
+      static_cast<std::size_t>(net_->node_count()) *
+      static_cast<std::size_t>(nrhs);
+  RENOC_CHECK_MSG(powers.size() == expected && states.size() == expected,
+                  "step_multi blocks must be node_count x nrhs");
+  const std::size_t w = static_cast<std::size_t>(nrhs);
+  rhs_multi_.resize(expected);
+  for (std::size_t i = 0; i < c_over_dt_.size(); ++i) {
+    const double cd = c_over_dt_[i];
+    const double* s = &states[i * w];
+    const double* p = &powers[i * w];
+    double* r = &rhs_multi_[i * w];
+    for (std::size_t j = 0; j < w; ++j) r[j] = cd * s[j] + p[j];
+  }
+  if (step_ldlt_)
+    step_ldlt_->solve_multi(rhs_multi_, nrhs);
+  else
+    step_lu_->solve_multi(rhs_multi_, nrhs);
+  std::swap(states, rhs_multi_);
+}
+
 void TransientSolver::step_die_power(const std::vector<double>& die_power) {
   step(expand_into(*net_, die_power, full_power_));
 }
@@ -136,7 +179,8 @@ void TransientSolver::step_die_power(const std::vector<double>& die_power) {
 double TransientSolver::run_die_power(const std::vector<double>& die_power,
                                       int steps) {
   RENOC_CHECK(steps >= 0);
-  const std::vector<double> full = net_->expand_die_power(die_power);
+  const std::vector<double>& full =
+      expand_into(*net_, die_power, full_power_);
   double peak = net_->peak_die_rise(state_);
   for (int s = 0; s < steps; ++s) {
     step(full);

@@ -39,6 +39,24 @@ enum class SolverBackend {
 /// the dense factor fits in cache and the sparse bookkeeping buys nothing.
 inline constexpr int kDenseNodeCutoff = 64;
 
+/// The backend `requested` resolves to for a network of `node_count`
+/// nodes (kAuto applies the cutoff above and the RENOC_DENSE_SOLVE
+/// environment override). Exposed so other layers that maintain their own
+/// factorizations — the co-sim engine in core/thermal_runtime — pick the
+/// same backend as the solvers here.
+SolverBackend resolve_solver_backend(SolverBackend requested, int node_count);
+
+/// The diagonal C/dt of the backward-Euler step matrix for time step `dt`.
+/// Shared with the co-sim engine so both paths assemble bit-identical
+/// step matrices (the engine's reference-agreement contract depends on
+/// that).
+std::vector<double> step_capacitance_diagonal(const RcNetwork& net,
+                                              double dt);
+
+/// The dense backward-Euler step matrix C/dt + G (dense-backend paths).
+Matrix dense_step_matrix(const RcNetwork& net,
+                         const std::vector<double>& c_over_dt);
+
 /// Direct solver for steady-state temperature rises.
 class SteadyStateSolver {
  public:
@@ -48,9 +66,19 @@ class SteadyStateSolver {
   /// Full-node temperature rises for a full-node power vector.
   std::vector<double> solve(const std::vector<double>& power) const;
 
+  /// solve() into a caller-provided buffer: `rise` is resized to the node
+  /// count and overwritten, so a reused buffer makes repeated solves
+  /// allocation-free. Results are bit-identical to solve().
+  void solve_into(const std::vector<double>& power,
+                  std::vector<double>& rise) const;
+
   /// Convenience: per-die-block power in, full-node rises out.
   std::vector<double> solve_die_power(
       const std::vector<double>& die_power) const;
+
+  /// solve_die_power() into a caller-provided buffer (see solve_into).
+  void solve_die_power_into(const std::vector<double>& die_power,
+                            std::vector<double>& rise) const;
 
   /// Peak absolute die temperature (ambient + peak rise) for a die power map.
   double peak_die_temperature(const std::vector<double>& die_power) const;
@@ -87,6 +115,17 @@ class TransientSolver {
   /// Advances one step under a full-node power vector.
   void step(const std::vector<double>& power);
 
+  /// Advances `nrhs` independent trajectories one step each. `powers` and
+  /// `states` are row-major n x nrhs blocks (trajectory j's component i at
+  /// index i * nrhs + j); `states` holds the advanced states on exit. The
+  /// fused C/dt * state + P right-hand-side build and the blocked
+  /// solve_multi replicate step()'s arithmetic per trajectory, so each
+  /// column advances bit-identically to a lone solver stepped with that
+  /// column's power — the contract behind AdaptivePolicy's batched
+  /// lookahead. Does not touch the scalar state().
+  void step_multi(const std::vector<double>& powers,
+                  std::vector<double>& states, int nrhs);
+
   /// Advances one step under a per-die-block power vector.
   void step_die_power(const std::vector<double>& die_power);
 
@@ -107,6 +146,7 @@ class TransientSolver {
   std::vector<double> c_over_dt_;  // diagonal C/dt
   std::vector<double> state_;      // temperature rises
   std::vector<double> rhs_;        // scratch
+  std::vector<double> rhs_multi_;  // step_multi scratch
   std::vector<double> full_power_;  // die-power expansion scratch
 };
 

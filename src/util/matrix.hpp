@@ -79,6 +79,16 @@ class LuFactorization {
   /// library.
   void solve_in_place(std::vector<double>& x) const;
 
+  /// Blocked multi-RHS solve: `x` holds `nrhs` right-hand sides as a
+  /// row-major n x nrhs block (RHS j's component i at x[i * nrhs + j]) and
+  /// holds the solutions on exit. One traversal of the factor serves all
+  /// columns; each column performs exactly the arithmetic of
+  /// solve_in_place in the same order, so column j is bit-identical to a
+  /// lone solve of that column (the property AdaptivePolicy's batched
+  /// lookahead relies on for sub-64-node networks, where the thermal
+  /// solvers keep the dense backend).
+  void solve_multi(std::vector<double>& x, int nrhs) const;
+
   std::size_t n() const { return n_; }
 
   /// Sign-adjusted product of U's diagonal (the determinant).
@@ -89,7 +99,8 @@ class LuFactorization {
   Matrix lu_;                  // combined L (unit diagonal) and U
   std::vector<std::size_t> perm_;  // row permutation
   int perm_sign_ = 1;
-  mutable std::vector<double> scratch_;  // permuted rhs, reused per solve
+  mutable std::vector<double> scratch_;        // permuted rhs, reused per solve
+  mutable std::vector<double> scratch_multi_;  // multi-RHS workspace
 };
 
 }  // namespace renoc

@@ -181,6 +181,115 @@ std::vector<int> bandwidth_reducing_ordering(const SparseMatrix& a,
   return perm;
 }
 
+std::vector<int> minimum_degree_ordering(const SparseMatrix& a) {
+  RENOC_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+
+  // Quotient-graph minimum degree (Davis, "Direct Methods", ch. 7, without
+  // supervariable detection): each uneliminated variable v keeps a list of
+  // adjacent uneliminated variables (vadj) and of elements — eliminated
+  // pivots standing in for the clique of their boundary (belem). At each
+  // step the minimum-degree variable (smallest index on ties, for
+  // deterministic orderings) is eliminated: its boundary becomes a new
+  // element, the elements it touched are absorbed, and only the boundary's
+  // degrees are recomputed.
+  std::vector<std::vector<int>> vadj(uz(n));
+  std::vector<std::vector<int>> eadj(uz(n));   // element ids per variable
+  std::vector<std::vector<int>> belem;         // boundary per element
+  std::vector<char> absorbed;                  // per element
+  for (int r = 0; r < n; ++r)
+    for (int p = a.row_ptr()[uz(r)]; p < a.row_ptr()[uz(r) + 1]; ++p) {
+      const int c = a.col_idx()[uz(p)];
+      if (c != r) vadj[uz(r)].push_back(c);
+    }
+
+  std::vector<char> alive(uz(n), 1);
+  std::vector<int> degree(uz(n), 0);
+  for (int v = 0; v < n; ++v)
+    degree[uz(v)] = static_cast<int>(vadj[uz(v)].size());
+
+  std::vector<int> mark(uz(n), -1);  // epoch marks for set unions
+  int epoch = 0;
+  std::vector<int> boundary;
+  boundary.reserve(uz(n));
+
+  // Gathers the distinct alive neighbours of v (variables plus element
+  // boundaries) under the current epoch mark; returns the count.
+  const auto scan_neighbours = [&](int v) {
+    int count = 0;
+    ++epoch;
+    mark[uz(v)] = epoch;
+    for (const int w : vadj[uz(v)]) {
+      if (!alive[uz(w)] || mark[uz(w)] == epoch) continue;
+      mark[uz(w)] = epoch;
+      ++count;
+    }
+    for (const int e : eadj[uz(v)]) {
+      if (absorbed[uz(e)]) continue;
+      for (const int w : belem[uz(e)]) {
+        if (!alive[uz(w)] || mark[uz(w)] == epoch) continue;
+        mark[uz(w)] = epoch;
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  std::vector<int> perm;
+  perm.reserve(uz(n));
+  for (int step = 0; step < n; ++step) {
+    int pivot = -1;
+    for (int v = 0; v < n; ++v)
+      if (alive[uz(v)] &&
+          (pivot == -1 || degree[uz(v)] < degree[uz(pivot)]))
+        pivot = v;
+    perm.push_back(pivot);
+    alive[uz(pivot)] = 0;
+
+    // Boundary of the new element: distinct alive neighbours of the pivot.
+    boundary.clear();
+    ++epoch;
+    mark[uz(pivot)] = epoch;
+    for (const int w : vadj[uz(pivot)]) {
+      if (!alive[uz(w)] || mark[uz(w)] == epoch) continue;
+      mark[uz(w)] = epoch;
+      boundary.push_back(w);
+    }
+    for (const int e : eadj[uz(pivot)]) {
+      if (absorbed[uz(e)]) continue;
+      absorbed[uz(e)] = 1;  // the new element covers this one's clique
+      for (const int w : belem[uz(e)]) {
+        if (!alive[uz(w)] || mark[uz(w)] == epoch) continue;
+        mark[uz(w)] = epoch;
+        boundary.push_back(w);
+      }
+    }
+    const int e_new = static_cast<int>(belem.size());
+    belem.push_back(boundary);
+    absorbed.push_back(0);
+
+    // Update each boundary variable: prune its variable list to alive
+    // non-boundary entries (boundary coverage moves to the new element),
+    // drop absorbed elements, attach e_new, and recompute its degree.
+    for (const int u : boundary) {
+      auto& va = vadj[uz(u)];
+      std::size_t keep = 0;
+      for (const int w : va)
+        if (alive[uz(w)] && mark[uz(w)] != epoch) va[keep++] = w;
+      va.resize(keep);
+      auto& ea = eadj[uz(u)];
+      keep = 0;
+      for (const int e : ea)
+        if (!absorbed[uz(e)]) ea[keep++] = e;
+      ea.resize(keep);
+      ea.push_back(e_new);
+    }
+    for (const int u : boundary) degree[uz(u)] = scan_neighbours(u);
+  }
+  RENOC_CHECK(static_cast<int>(perm.size()) == n);
+  return perm;
+}
+
 SparseLdlt::SparseLdlt(const SparseMatrix& a, std::vector<int> perm)
     : n_(a.rows()) {
   RENOC_CHECK_MSG(a.rows() == a.cols(), "LDL^T requires a square matrix");
@@ -267,6 +376,9 @@ SparseLdlt::SparseLdlt(const SparseMatrix& a, std::vector<int> perm)
                     "matrix is singular or not positive definite (pivot "
                         << d_[uz(k)] << " at step " << k << ")");
   }
+
+  inv_d_.assign(uz(n_), 0.0);
+  for (int k = 0; k < n_; ++k) inv_d_[uz(k)] = 1.0 / d_[uz(k)];
 }
 
 std::vector<double> SparseLdlt::solve(const std::vector<double>& b) const {
@@ -295,6 +407,74 @@ void SparseLdlt::solve_in_place(std::vector<double>& x) const {
     y[uz(k)] = acc;
   }
   for (int k = 0; k < n_; ++k) x[uz(perm_[uz(k)])] = y[uz(k)];
+}
+
+void SparseLdlt::solve_multi(std::vector<double>& x, int nrhs) const {
+  RENOC_CHECK_MSG(nrhs >= 1, "need at least one right-hand side");
+  RENOC_CHECK_MSG(
+      x.size() == uz(n_) * static_cast<std::size_t>(nrhs),
+      "multi-RHS block size " << x.size() << " != n*nrhs = " << n_ * nrhs);
+  const std::size_t w = static_cast<std::size_t>(nrhs);
+  scratch_multi_.resize(uz(n_) * w);
+  std::vector<double>& y = scratch_multi_;
+  // Permute in: whole rows move, so each gather copies nrhs contiguous
+  // values. Every per-column operation below replicates solve_in_place's
+  // arithmetic in the same order, keeping columns bit-identical to lone
+  // solves.
+  for (int k = 0; k < n_; ++k)
+    std::copy_n(&x[uz(perm_[uz(k)]) * w], w, &y[uz(k) * w]);
+  // L Z = Y (unit-diagonal, by columns).
+  for (int k = 0; k < n_; ++k) {
+    const double* yk = &y[uz(k) * w];
+    for (int p = lp_[uz(k)]; p < lp_[uz(k) + 1]; ++p) {
+      const double l = lx_[uz(p)];
+      double* yi = &y[uz(li_[uz(p)]) * w];
+      for (std::size_t j = 0; j < w; ++j) yi[j] -= l * yk[j];
+    }
+  }
+  for (int k = 0; k < n_; ++k) {
+    const double dk = d_[uz(k)];
+    double* yk = &y[uz(k) * w];
+    for (std::size_t j = 0; j < w; ++j) yk[j] /= dk;
+  }
+  // L^T W = Z (by columns of L in reverse).
+  for (int k = n_ - 1; k >= 0; --k) {
+    double* yk = &y[uz(k) * w];
+    for (int p = lp_[uz(k)]; p < lp_[uz(k) + 1]; ++p) {
+      const double l = lx_[uz(p)];
+      const double* yi = &y[uz(li_[uz(p)]) * w];
+      for (std::size_t j = 0; j < w; ++j) yk[j] -= l * yi[j];
+    }
+  }
+  for (int k = 0; k < n_; ++k)
+    std::copy_n(&y[uz(k) * w], w, &x[uz(perm_[uz(k)]) * w]);
+}
+
+void SparseLdlt::solve_permuted_in_place(double* y) const {
+  const int* lp = lp_.data();
+  const int* li = li_.data();
+  const double* lx = lx_.data();
+  for (int k = 0; k < n_; ++k) {
+    const double yk = y[k];
+    for (int p = lp[k]; p < lp[k + 1]; ++p) y[li[p]] -= lx[p] * yk;
+  }
+  // Backward sweep with D^{-1} fused and four accumulators: the plain
+  // per-column dot is a serial FMA chain whose latency, not throughput,
+  // bounds the sweep; splitting it breaks the chain.
+  const double* invd = inv_d_.data();
+  for (int k = n_ - 1; k >= 0; --k) {
+    const int p1 = lp[k + 1];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    int p = lp[k];
+    for (; p + 3 < p1; p += 4) {
+      a0 += lx[p] * y[li[p]];
+      a1 += lx[p + 1] * y[li[p + 1]];
+      a2 += lx[p + 2] * y[li[p + 2]];
+      a3 += lx[p + 3] * y[li[p + 3]];
+    }
+    for (; p < p1; ++p) a0 += lx[p] * y[li[p]];
+    y[k] = y[k] * invd[k] - ((a0 + a1) + (a2 + a3));
+  }
 }
 
 }  // namespace renoc

@@ -90,6 +90,18 @@ class SparseMatrix {
 std::vector<int> bandwidth_reducing_ordering(const SparseMatrix& a,
                                              int hub_degree = 8);
 
+/// Minimum-degree ordering on the elimination graph (quotient-graph form
+/// with element absorption, deterministic smallest-index tie-breaking).
+/// On the refined HotSpot stacks this roughly halves nnz(L) versus the
+/// RCM ordering above — the difference between a band-shaped factor and a
+/// nested-bisection-like one — which directly halves triangular-solve
+/// work. Ordering cost is higher than RCM's, so it is worth paying when a
+/// factorization is reused for many solves (the orbit co-simulation
+/// engine of core/thermal_runtime factors once and solves tens of
+/// thousands of times); bandwidth_reducing_ordering remains the default
+/// for factor-dominated uses.
+std::vector<int> minimum_degree_ordering(const SparseMatrix& a);
+
 /// Sparse LDL^T factorization of a symmetric positive-definite matrix:
 /// P A P^T = L D L^T with unit-diagonal L. Factor once, solve many times.
 class SparseLdlt {
@@ -109,6 +121,29 @@ class SparseLdlt {
   /// call; like the rest of the library this is not thread-safe.
   void solve_in_place(std::vector<double>& x) const;
 
+  /// Blocked multi-RHS solve: `x` holds `nrhs` right-hand sides as a
+  /// row-major n x nrhs block (RHS j's component i at x[i * nrhs + j]) and
+  /// holds the solutions on exit. One traversal of the factor serves all
+  /// nrhs columns, amortizing the L/L^T index walk; each column performs
+  /// exactly the arithmetic of solve_in_place in the same order, so column
+  /// j of the result is bit-identical to a lone solve of that column (the
+  /// property AdaptivePolicy's batched lookahead relies on).
+  void solve_multi(std::vector<double>& x, int nrhs) const;
+
+  /// Streamed solve in permuted coordinates for hot loops that keep their
+  /// state in elimination order (see the co-sim engine in
+  /// core/thermal_runtime): y[k] holds component permutation()[k] of the
+  /// right-hand side on entry and of the solution on exit. Skips both
+  /// permutation passes and fuses D^{-1} (as a precomputed reciprocal)
+  /// into an unrolled backward sweep, so results drift from solve() only
+  /// in the last bits (~1e-15 relative; the engine's reference-agreement
+  /// test pins the accumulated effect).
+  void solve_permuted_in_place(double* y) const;
+
+  /// The fill-reducing permutation in use: permutation()[k] = original
+  /// index eliminated at step k.
+  const std::vector<int>& permutation() const { return perm_; }
+
   int n() const { return n_; }
   /// Stored entries of L strictly below the diagonal (the fill).
   int factor_nnz() const { return static_cast<int>(li_.size()); }
@@ -119,9 +154,11 @@ class SparseLdlt {
   std::vector<int> li_;      // row indices of L (strictly lower part)
   std::vector<double> lx_;   // values of L
   std::vector<double> d_;    // diagonal of D
+  std::vector<double> inv_d_;  // 1/d_, for the streamed permuted solve
   std::vector<int> perm_;    // perm_[k] = original index at position k
   std::vector<int> iperm_;   // inverse permutation
-  mutable std::vector<double> scratch_;  // permuted rhs workspace
+  mutable std::vector<double> scratch_;        // permuted rhs workspace
+  mutable std::vector<double> scratch_multi_;  // multi-RHS workspace
 };
 
 }  // namespace renoc

@@ -2,6 +2,8 @@
 // function-switching extension).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/adaptive_policy.hpp"
 #include "floorplan/floorplan.hpp"
 #include "power/power_map.hpp"
@@ -178,6 +180,61 @@ TEST(AdaptivePolicyTest, CustomCandidates) {
   EXPECT_EQ(policy.choose(power, env.steady_state(power)).kind,
             TransformKind::kMirrorY);
   EXPECT_THROW(policy.set_candidates({}), CheckError);
+}
+
+TEST(AdaptivePolicyTest, BatchedScoresBitMatchScalarLookahead) {
+  // candidate_scores evaluates every candidate's lookahead trajectory as
+  // one multi-RHS batch; each score must equal the scalar predicted_peak
+  // bit for bit. Side 4 exercises the dense LU backend (58 nodes), side 5
+  // the sparse LDL^T (85 nodes).
+  for (const int side : {4, 5}) {
+    Env env(side);
+    AdaptivePolicy policy(env.net, env.dim,
+                          AdaptiveObjective::kPredictivePeak, kPeriod);
+    std::vector<double> power(
+        static_cast<std::size_t>(side * side), 1.0);
+    power[static_cast<std::size_t>(side + 1)] = 8.0;
+    const std::vector<double> state = env.steady_state(power);
+
+    const std::vector<double> batch = policy.candidate_scores(power, state);
+    ASSERT_EQ(batch.size(), policy.candidates().size());
+    for (std::size_t j = 0; j < policy.candidates().size(); ++j)
+      EXPECT_EQ(batch[j],
+                policy.predicted_peak(policy.candidates()[j], power, state))
+          << "side " << side << " candidate " << j;
+
+    // choose() is the argmin of the same scores.
+    const Transform chosen = policy.choose(power, state);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < batch.size(); ++j)
+      if (batch[j] < batch[best]) best = j;
+    EXPECT_EQ(chosen.kind, policy.candidates()[best].kind) << "side " << side;
+  }
+}
+
+TEST(AdaptivePolicyTest, CandidateScoresCoverAllObjectives) {
+  Env env(4);
+  std::vector<double> power(16, 1.0);
+  power[3] = 5.0;
+  const std::vector<double> state = env.steady_state(power);
+  for (const AdaptiveObjective objective :
+       {AdaptiveObjective::kPredictivePeak,
+        AdaptiveObjective::kCoolestHistory,
+        AdaptiveObjective::kOrbitAverage}) {
+    AdaptivePolicy policy(env.net, env.dim, objective, kPeriod);
+    const std::vector<double> scores = policy.candidate_scores(power, state);
+    ASSERT_EQ(scores.size(), policy.candidates().size())
+        << to_string(objective);
+    // Scores are finite and choose() picks their first minimum.
+    const Transform chosen = policy.choose(power, state);
+    std::size_t best = 0;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      EXPECT_TRUE(std::isfinite(scores[j])) << to_string(objective);
+      if (scores[j] < scores[best]) best = j;
+    }
+    EXPECT_EQ(chosen.kind, policy.candidates()[best].kind)
+        << to_string(objective);
+  }
 }
 
 TEST(AdaptivePolicyTest, InputValidation) {

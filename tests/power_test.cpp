@@ -3,6 +3,9 @@
 // fixed point.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "floorplan/floorplan.hpp"
 #include "noc/fabric.hpp"
 #include "power/energy_model.hpp"
@@ -207,6 +210,68 @@ TEST(LeakageLoopTest, ThermalRunawayDetected) {
   const LeakageLoopResult r =
       solve_leakage_fixed_point(env.solver, energy, dyn, 1e-4, 60);
   EXPECT_FALSE(r.converged);
+}
+
+TEST(LeakageLoopTest, WorkspaceReuseMatchesSeedLoopExactly) {
+  // The loop now rebuilds total_power in place and solves through the
+  // allocation-free _into API; results must be bit-identical to the seed
+  // formulation (fresh vectors every iteration), re-implemented inline
+  // here as the regression reference.
+  LeakEnv env;
+  EnergyParams p;
+  p.p_leak_tile = 0.3;
+  p.leak_beta = 0.012;
+  const EnergyModel energy(p);
+  std::vector<double> dyn(16, 2.0);
+  dyn[6] = 6.5;
+  const double tol_c = 1e-5;
+  const int max_iterations = 100;
+
+  LeakageLoopResult expected;
+  expected.die_temps.assign(dyn.size(), env.net.ambient());
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    expected.iterations = iter + 1;
+    expected.total_power = dyn;
+    for (std::size_t i = 0; i < expected.total_power.size(); ++i)
+      expected.total_power[i] +=
+          energy.tile_leakage_power(expected.die_temps[i]);
+    const std::vector<double> rise =
+        env.solver.solve_die_power(expected.total_power);
+    double max_delta = 0.0;
+    bool finite = true;
+    for (int i = 0; i < env.net.die_count(); ++i) {
+      const double t =
+          env.net.ambient() + rise[static_cast<std::size_t>(i)];
+      if (!std::isfinite(t) || t > 1000.0) finite = false;
+      max_delta = std::max(
+          max_delta,
+          std::fabs(t - expected.die_temps[static_cast<std::size_t>(i)]));
+      expected.die_temps[static_cast<std::size_t>(i)] = t;
+    }
+    if (!finite) {
+      expected.converged = false;
+      break;
+    }
+    if (max_delta < tol_c) {
+      expected.converged = true;
+      break;
+    }
+  }
+  expected.peak_temp_c = *std::max_element(expected.die_temps.begin(),
+                                           expected.die_temps.end());
+
+  const LeakageLoopResult r =
+      solve_leakage_fixed_point(env.solver, energy, dyn, tol_c,
+                                max_iterations);
+  EXPECT_EQ(r.iterations, expected.iterations);
+  EXPECT_EQ(r.converged, expected.converged);
+  EXPECT_EQ(r.peak_temp_c, expected.peak_temp_c);
+  ASSERT_EQ(r.die_temps.size(), expected.die_temps.size());
+  ASSERT_EQ(r.total_power.size(), expected.total_power.size());
+  for (std::size_t i = 0; i < r.die_temps.size(); ++i) {
+    EXPECT_EQ(r.die_temps[i], expected.die_temps[i]) << "tile " << i;
+    EXPECT_EQ(r.total_power[i], expected.total_power[i]) << "tile " << i;
+  }
 }
 
 TEST(LeakageLoopTest, InputValidation) {

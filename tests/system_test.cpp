@@ -120,6 +120,56 @@ TEST(ExperimentDriverTest, RotationEvaluationIsSane) {
   EXPECT_GT(eval.reduction_c, 0.0);
 }
 
+TEST(ExperimentDriverTest, SchemeStudySharesCachesConsistently) {
+  // evaluate_scheme caches the per-scheme migration measurement and the
+  // per-period thermal runtime; repeated and grouped evaluations must be
+  // identical to the first (both underlying simulations are
+  // deterministic), and a period sweep of one scheme must reuse the same
+  // measured migration timing/energy at every period.
+  ExperimentDriver driver(fast_config());
+  driver.prepare(1);
+  const double p1 = driver.default_period_s();
+  const double p2 = 2 * p1;
+
+  const SchemeEvaluation first =
+      driver.evaluate_scheme(MigrationScheme::kRotation, p1);
+  const SchemeEvaluation again =
+      driver.evaluate_scheme(MigrationScheme::kRotation, p1);
+  EXPECT_EQ(first.peak_temp_c, again.peak_temp_c);
+  EXPECT_EQ(first.mean_temp_c, again.mean_temp_c);
+  EXPECT_EQ(first.ripple_c, again.ripple_c);
+  EXPECT_EQ(first.migration_s, again.migration_s);
+  EXPECT_EQ(first.migration_energy_j, again.migration_energy_j);
+  EXPECT_EQ(first.state_flits, again.state_flits);
+
+  const auto study =
+      driver.scheme_study({MigrationScheme::kNone,
+                           MigrationScheme::kRotation},
+                          {p1, p2});
+  ASSERT_EQ(study.size(), 4u);
+  EXPECT_EQ(study[0].scheme, MigrationScheme::kNone);
+  EXPECT_DOUBLE_EQ(study[0].period_s, p1);
+  EXPECT_EQ(study[2].scheme, MigrationScheme::kRotation);
+  // The rotation row at p1 equals the standalone evaluation.
+  EXPECT_EQ(study[2].peak_temp_c, first.peak_temp_c);
+  EXPECT_EQ(study[2].migration_s, first.migration_s);
+  // Migration timing/energy depend only on the scheme, not the period.
+  EXPECT_EQ(study[3].migration_s, study[2].migration_s);
+  EXPECT_EQ(study[3].migration_energy_j, study[2].migration_energy_j);
+  EXPECT_EQ(study[3].phases, study[2].phases);
+  // But the throughput penalty does scale with the period.
+  EXPECT_LT(study[3].throughput_penalty, study[2].throughput_penalty);
+
+  // Re-preparing invalidates both caches: the evaluation afterwards must
+  // run against the fresh network/calibration (same config -> same
+  // numbers), not against freed or stale cached state.
+  driver.prepare(1);
+  const SchemeEvaluation after =
+      driver.evaluate_scheme(MigrationScheme::kRotation, p1);
+  EXPECT_EQ(after.peak_temp_c, first.peak_temp_c);
+  EXPECT_EQ(after.migration_s, first.migration_s);
+}
+
 TEST(ExperimentDriverTest, EvaluateBeforePrepareRejected) {
   ExperimentDriver driver(fast_config());
   EXPECT_THROW(driver.evaluate_scheme(MigrationScheme::kRotation),

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "core/reference_runtime.hpp"
 #include "core/thermal_runtime.hpp"
 #include "core/transform.hpp"
 #include "floorplan/floorplan.hpp"
 #include "power/power_map.hpp"
+#include "thermal/grid_refine.hpp"
 #include "thermal/hotspot_params.hpp"
 #include "thermal/solver.hpp"
 #include "util/check.hpp"
@@ -175,6 +178,139 @@ TEST(ThermalRuntimeTest, InputValidation) {
   ThermalRunOptions bad;
   bad.period_s = -1;
   EXPECT_THROW(MigrationThermalRuntime(net, bad), CheckError);
+}
+
+// --- Engine vs reference oracle ----------------------------------------
+
+void expect_agreement(const ThermalRunResult& engine,
+                      const ThermalRunResult& reference, double tol,
+                      const std::string& label) {
+  EXPECT_NEAR(engine.peak_temp_c, reference.peak_temp_c, tol) << label;
+  EXPECT_NEAR(engine.mean_temp_c, reference.mean_temp_c, tol) << label;
+  EXPECT_NEAR(engine.ripple_c, reference.ripple_c, tol) << label;
+  EXPECT_NEAR(engine.steady_peak_of_avg_c, reference.steady_peak_of_avg_c,
+              tol)
+      << label;
+  EXPECT_EQ(engine.orbits_run, reference.orbits_run) << label;
+  EXPECT_EQ(engine.converged, reference.converged) << label;
+}
+
+TEST(ThermalRuntimeTest, EngineMatchesReferenceAcrossScenarios) {
+  // The streamed engine must agree with the preserved scalar path to
+  // <= 1e-10 per field across schemes, periods, and both solver backends
+  // (side 4 = dense LU at 58 nodes, side 6 = sparse LDL^T at 118 nodes),
+  // with and without migration energy.
+  for (const int side : {4, 6}) {
+    const RcNetwork net = make_net(side);
+    const int tiles = side * side;
+    std::vector<double> power(static_cast<std::size_t>(tiles), 1.0);
+    power[0] = 7.0;
+    power[static_cast<std::size_t>(tiles / 2)] = 4.0;
+    for (const TransformKind kind :
+         {TransformKind::kRotation, TransformKind::kShiftXY}) {
+      const auto orbit =
+          orbit_permutations(Transform{kind, 1}, GridDim{side, side});
+      for (const double period : {109.3e-6, 874.4e-6}) {
+        ThermalRunOptions opt;
+        opt.period_s = period;
+        const MigrationThermalRuntime engine(net, opt);
+        const ReferenceThermalRuntime reference(net, opt);
+        const std::string label =
+            "side " + std::to_string(side) + " kind " +
+            std::string(to_string(kind)) + " period " +
+            std::to_string(period);
+
+        expect_agreement(engine.run(power, orbit, {}),
+                         reference.run(power, orbit, {}), 1e-10, label);
+
+        const std::vector<std::vector<double>> energy(
+            orbit.size(),
+            std::vector<double>(static_cast<std::size_t>(tiles),
+                                150e-6 / tiles));
+        expect_agreement(engine.run(power, orbit, energy),
+                         reference.run(power, orbit, energy), 1e-10,
+                         label + " +energy");
+      }
+    }
+  }
+}
+
+TEST(ThermalRuntimeTest, EngineMatchesReferenceOnRefinedNetwork) {
+  // Refine >= 2 exercises the sparse streamed path on the grid shapes the
+  // sweep harness runs (fine nodes = 16 * refine^2).
+  const GridDim dim{4, 4};
+  for (const int refine : {2, 3}) {
+    const RefinedThermalModel model(dim, date05_tile_area(),
+                                    date05_hotspot_params(), refine);
+    const int fine = model.fine_dim().node_count();
+    std::vector<double> tile_power(16, 1.0);
+    tile_power[5] = 6.0;
+    const std::vector<double> power = model.refine_power(tile_power);
+    const auto orbit = orbit_permutations(
+        Transform{TransformKind::kRotation, 0}, model.fine_dim());
+    (void)fine;
+    ThermalRunOptions opt;
+    const MigrationThermalRuntime engine(model.network(), opt);
+    const ReferenceThermalRuntime reference(model.network(), opt);
+    expect_agreement(engine.run(power, orbit, {}),
+                     reference.run(power, orbit, {}), 1e-10,
+                     "refine " + std::to_string(refine));
+  }
+}
+
+TEST(ThermalRuntimeTest, StaticCaseBitMatchesReference) {
+  // The static shortcut shares the steady solver code path exactly.
+  const RcNetwork net = make_net(5);
+  const auto power = hot_corner_map(5, 9.0, 1.0);
+  const MigrationThermalRuntime engine(net, ThermalRunOptions{});
+  const ReferenceThermalRuntime reference(net, ThermalRunOptions{});
+  const auto orbit =
+      std::vector<std::vector<int>>{identity_permutation(25)};
+  const ThermalRunResult re = engine.run(power, orbit, {});
+  const ThermalRunResult rr = reference.run(power, orbit, {});
+  EXPECT_EQ(re.peak_temp_c, rr.peak_temp_c);
+  EXPECT_EQ(re.mean_temp_c, rr.mean_temp_c);
+  EXPECT_EQ(re.steady_peak_of_avg_c, rr.steady_peak_of_avg_c);
+  EXPECT_EQ(re.orbits_run, 0);
+  EXPECT_TRUE(re.converged);
+}
+
+TEST(ThermalRuntimeTest, WorkspacesAreStateless) {
+  // Two runtimes with interleaved run() calls — and a runtime whose runs
+  // alternate between two different problems — must reproduce the results
+  // of fresh runtimes exactly: the persistent workspaces carry no state
+  // between runs.
+  const RcNetwork net = make_net(6);
+  const auto power_a = hot_corner_map(6, 8.0, 1.0);
+  std::vector<double> power_b(36, 1.0);
+  power_b[21] = 6.0;
+  const auto orbit_rot =
+      orbit_permutations(Transform{TransformKind::kRotation, 0}, GridDim{6, 6});
+  const auto orbit_shift =
+      orbit_permutations(Transform{TransformKind::kShiftXY, 1}, GridDim{6, 6});
+
+  ThermalRunOptions opt;
+  const MigrationThermalRuntime fresh_a(net, opt);
+  const MigrationThermalRuntime fresh_b(net, opt);
+  const ThermalRunResult ra = fresh_a.run(power_a, orbit_rot, {});
+  const ThermalRunResult rb = fresh_b.run(power_b, orbit_shift, {});
+
+  const MigrationThermalRuntime shared(net, opt);
+  const MigrationThermalRuntime other(net, opt);
+  for (int rep = 0; rep < 2; ++rep) {
+    // Interleave two problems through one runtime (workspace reuse with
+    // different orbits/maps) and a second runtime in between.
+    const ThermalRunResult a = shared.run(power_a, orbit_rot, {});
+    const ThermalRunResult o = other.run(power_a, orbit_rot, {});
+    const ThermalRunResult b = shared.run(power_b, orbit_shift, {});
+    EXPECT_EQ(a.peak_temp_c, ra.peak_temp_c) << "rep " << rep;
+    EXPECT_EQ(a.mean_temp_c, ra.mean_temp_c) << "rep " << rep;
+    EXPECT_EQ(a.ripple_c, ra.ripple_c) << "rep " << rep;
+    EXPECT_EQ(o.peak_temp_c, ra.peak_temp_c) << "rep " << rep;
+    EXPECT_EQ(b.peak_temp_c, rb.peak_temp_c) << "rep " << rep;
+    EXPECT_EQ(b.mean_temp_c, rb.mean_temp_c) << "rep " << rep;
+    EXPECT_EQ(b.orbits_run, rb.orbits_run) << "rep " << rep;
+  }
 }
 
 TEST(ThermalRuntimeTest, OrbitAveragePowerConservedAcrossSchemes) {

@@ -255,6 +255,90 @@ TEST(TransientTest, RunReturnsMaxPeak) {
   EXPECT_NEAR(peak, net.peak_die_rise(transient.state()), 1e-12);
 }
 
+TEST(SolverIntoTest, SolveDiePowerIntoBitMatchesSolveDiePower) {
+  // Both backends: side 4 resolves to the dense LU (58 nodes), side 5 to
+  // the sparse LDL^T (85 nodes).
+  for (const int side : {4, 5}) {
+    const RcNetwork net = make_net(side);
+    const SteadyStateSolver solver(net);
+    std::vector<double> power(
+        static_cast<std::size_t>(net.die_count()), 1.5);
+    power[2] = 7.0;
+    const std::vector<double> fresh = solver.solve_die_power(power);
+    std::vector<double> reused;
+    for (int rep = 0; rep < 3; ++rep) {
+      solver.solve_die_power_into(power, reused);
+      ASSERT_EQ(reused.size(), fresh.size());
+      for (std::size_t i = 0; i < fresh.size(); ++i)
+        EXPECT_EQ(reused[i], fresh[i]) << "side " << side << " rep " << rep;
+    }
+    // Full-node variant.
+    const std::vector<double> full = net.expand_die_power(power);
+    std::vector<double> rise2;
+    solver.solve_into(full, rise2);
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+      EXPECT_EQ(rise2[i], fresh[i]);
+  }
+}
+
+TEST(TransientTest, StepMultiBitMatchesScalarSteps) {
+  // Both backends again; three trajectories under three different power
+  // maps, advanced several steps, must match three lone solvers exactly.
+  for (const int side : {4, 5}) {
+    const RcNetwork net = make_net(side);
+    const int n = net.node_count();
+    const int die = net.die_count();
+    const int k = 3;
+    std::vector<std::vector<double>> die_powers;
+    for (int j = 0; j < k; ++j) {
+      std::vector<double> p(static_cast<std::size_t>(die), 1.0);
+      p[static_cast<std::size_t>(j * 2)] = 5.0 + j;
+      die_powers.push_back(p);
+    }
+
+    // Scalar references.
+    std::vector<std::vector<double>> scalar_states;
+    for (int j = 0; j < k; ++j) {
+      TransientSolver solo(net, 2e-6);
+      solo.set_state_to_steady(die_powers[0]);
+      const std::vector<double> full =
+          net.expand_die_power(die_powers[static_cast<std::size_t>(j)]);
+      for (int s = 0; s < 5; ++s) solo.step(full);
+      scalar_states.push_back(solo.state());
+    }
+
+    // Batch.
+    TransientSolver batch_solver(net, 2e-6);
+    batch_solver.set_state_to_steady(die_powers[0]);
+    const std::vector<double> init = batch_solver.state();
+    std::vector<double> powers(static_cast<std::size_t>(n * k), 0.0);
+    std::vector<double> states(static_cast<std::size_t>(n * k));
+    for (int j = 0; j < k; ++j) {
+      const std::vector<double> full =
+          net.expand_die_power(die_powers[static_cast<std::size_t>(j)]);
+      for (int i = 0; i < n; ++i) {
+        powers[static_cast<std::size_t>(i * k + j)] =
+            full[static_cast<std::size_t>(i)];
+        states[static_cast<std::size_t>(i * k + j)] =
+            init[static_cast<std::size_t>(i)];
+      }
+    }
+    for (int s = 0; s < 5; ++s) batch_solver.step_multi(powers, states, k);
+
+    for (int j = 0; j < k; ++j)
+      for (int i = 0; i < n; ++i)
+        EXPECT_EQ(states[static_cast<std::size_t>(i * k + j)],
+                  scalar_states[static_cast<std::size_t>(j)]
+                               [static_cast<std::size_t>(i)])
+            << "side " << side << " trajectory " << j << " node " << i;
+
+    // Validation.
+    std::vector<double> wrong(static_cast<std::size_t>(n));
+    EXPECT_THROW(batch_solver.step_multi(wrong, states, k), CheckError);
+    EXPECT_THROW(batch_solver.step_multi(powers, states, 0), CheckError);
+  }
+}
+
 TEST(GridRefineTest, RefineOneMatchesBlockModel) {
   const GridDim dim{4, 4};
   const RefinedThermalModel model(dim, date05_tile_area(),
