@@ -4,9 +4,10 @@
 // clock disabling, frequency scaling) "stop[s] or shut[s] down the entire
 // chip", paying a chip-wide performance cost to fix a *local* problem.
 // This bench makes that argument quantitative: for each configuration it
-// takes the peak temperature the best migration scheme achieves, then
-// tunes the stop-go and DVFS baselines to hit (approximately) the same
-// peak, and compares throughput:
+// takes the peak temperature the best migration scheme achieves (one
+// scheme_study call over the Figure-1 schemes), then tunes the stop-go
+// and DVFS baselines to hit (approximately) the same peak, and compares
+// throughput:
 //
 //   migration:  ~1-2% halt overhead, peak flattened spatially
 //   stop-go:    duty-cycles the whole chip until the peak obeys the trip
@@ -15,36 +16,52 @@
 // Because the baselines scale power globally, their throughput cost is
 // roughly (T_peak,static - T_target) / (T_peak,static - T_ambient-ish) —
 // an order of magnitude worse than migration for the same thermal relief.
+//
+// --smoke / --json: see bench/paper_bench.hpp; emits PAPER_dtm.json.
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "core/dtm_baselines.hpp"
 #include "core/experiment.hpp"
+#include "paper_bench.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace renoc {
 namespace {
 
-int run() {
+int run(const bench::PaperArgs& args) {
   Table t({"Config", "Static peak (C)", "Target (C)", "Best scheme",
            "Migration cost", "Stop-go peak (C)", "Stop-go cost",
            "DVFS peak (C)", "DVFS cost"});
   t.set_title(
       "Equal-peak comparison: runtime reconfiguration vs chip-wide DTM");
 
-  for (const ChipConfig& cfg : all_configs()) {
+  std::ofstream json_out(args.json_path);
+  JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").string("dtm_comparison");
+  json.key("smoke").boolean(args.smoke);
+  json.key("configs").begin_array();
+
+  for (const ChipConfig& cfg : bench::paper_configs(args.smoke)) {
     ExperimentDriver driver(cfg);
     driver.prepare();
 
-    // Best migration scheme at the default (one-block) period.
-    SchemeEvaluation best;
-    best.peak_temp_c = 1e300;
-    for (MigrationScheme scheme : figure1_schemes()) {
-      const SchemeEvaluation ev = driver.evaluate_scheme(scheme);
-      if (ev.peak_temp_c < best.peak_temp_c) best = ev;
-    }
+    // Best migration scheme at the default (one-block) period: the lowest
+    // peak out of one study over the Figure-1 schemes. No sentinel seed —
+    // min_element over the study results.
+    const std::vector<SchemeEvaluation> evals =
+        driver.scheme_study(figure1_schemes());
+    const SchemeEvaluation& best = *std::min_element(
+        evals.begin(), evals.end(),
+        [](const SchemeEvaluation& a, const SchemeEvaluation& b) {
+          return a.peak_temp_c < b.peak_temp_c;
+        });
     const double target = best.peak_temp_c;
     const double period = driver.default_period_s();
-    const int periods = 400;
+    const int periods = args.smoke ? 120 : 400;
 
     // Stop-go with the trip at the target peak.
     const StopGoController stop_go(driver.thermal_network(), target,
@@ -64,15 +81,47 @@ int run() {
                Table::num((1.0 - sg.throughput_fraction) * 100, 1) + "%",
                Table::num(dv.peak_temp_c),
                Table::num((1.0 - dv.throughput_fraction) * 100, 1) + "%"});
+
+    json.begin_object();
+    json.key("name").string(cfg.name);
+    json.key("static_peak_c").real(driver.base_peak_temp_c());
+    json.key("target_c").real(target);
+    json.key("best_scheme").string(to_string(best.scheme));
+    json.key("migration_penalty").real(best.throughput_penalty);
+    json.key("periods").integer(periods);
+    json.key("stop_go").begin_object();
+    json.key("peak_c").real(sg.peak_temp_c);
+    json.key("mean_c").real(sg.mean_temp_c);
+    json.key("throughput").real(sg.throughput_fraction);
+    json.key("throttle_events").integer(sg.throttle_events);
+    json.end_object();
+    json.key("dvfs").begin_object();
+    json.key("peak_c").real(dv.peak_temp_c);
+    json.key("mean_c").real(dv.mean_temp_c);
+    json.key("throughput").real(dv.throughput_fraction);
+    json.key("throttle_events").integer(dv.throttle_events);
+    json.end_object();
+    json.end_object();
   }
+  json.end_array();
+  json.end_object();
+
   t.print(std::cout);
   std::cout << "\nMigration reaches the same peak for a few percent of "
                "throughput; chip-wide throttling\npays an order of "
-               "magnitude more — the paper's core motivation, quantified.\n";
+               "magnitude more — the paper's core motivation, quantified.\n"
+               "wrote "
+            << args.json_path << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace renoc
 
-int main() { return renoc::run(); }
+int main(int argc, char** argv) {
+  renoc::bench::PaperArgs args;
+  if (const int rc =
+          renoc::bench::parse_paper_args(argc, argv, "PAPER_dtm.json", args))
+    return rc;
+  return renoc::run(args);
+}

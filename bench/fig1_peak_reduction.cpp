@@ -2,24 +2,32 @@
 //
 // For every chip configuration (A..E, x-axis labels carrying the base
 // peak temperature) and every migration scheme (Rot, X Mirror, X-Y Mirror,
-// Right Shift, X-Y Shift), runs the full pipeline — thermally-aware
-// placement, cycle-accurate decode, power extraction, calibrated thermal
+// Right Shift, X-Y Shift), runs the full pipeline through one
+// ExperimentDriver::scheme_study — thermally-aware placement,
+// cycle-accurate decode, power extraction, calibrated thermal
 // co-simulation with measured migration timing/energy — and prints the
 // reduction in peak temperature, plus the summary statistics quoted in
 // Section 3 (per-scheme averages, rotation's energy penalty on E, the
 // throughput cost at the default period).
+//
+// --smoke / --json: see bench/paper_bench.hpp; emits PAPER_fig1.json.
+#include <fstream>
 #include <iostream>
 #include <map>
 
 #include "core/experiment.hpp"
+#include "paper_bench.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace renoc {
 namespace {
 
-int run() {
+int run(const bench::PaperArgs& args) {
   const std::vector<MigrationScheme> schemes = figure1_schemes();
+  std::vector<MigrationScheme> study{MigrationScheme::kNone};
+  study.insert(study.end(), schemes.begin(), schemes.end());
 
   Table fig1({"Config (base C)", "Rot", "X Mirror", "X-Y Mirror",
               "Right Shift", "X-Y Shift"});
@@ -33,7 +41,14 @@ int run() {
   std::map<MigrationScheme, RunningStats> reduction_stats;
   std::map<MigrationScheme, RunningStats> mean_temp_delta;
 
-  for (const ChipConfig& cfg : all_configs()) {
+  std::ofstream json_out(args.json_path);
+  JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").string("fig1_peak_reduction");
+  json.key("smoke").boolean(args.smoke);
+  json.key("configs").begin_array();
+
+  for (const ChipConfig& cfg : bench::paper_configs(args.smoke)) {
     ExperimentDriver driver(cfg);
     driver.prepare();
     std::cout << "config " << cfg.name << ": base peak "
@@ -46,16 +61,29 @@ int run() {
               << " W, calibration x"
               << Table::num(driver.calibration_scale(), 1) << "\n";
 
+    // One study call: kNone plus the five schemes at the default period,
+    // sharing the migration and runtime caches.
+    const std::vector<SchemeEvaluation> evals = driver.scheme_study(study);
+    const SchemeEvaluation& none = evals.front();
+
+    json.begin_object();
+    json.key("name").string(cfg.name);
+    json.key("base_peak_c").real(driver.base_peak_temp_c());
+    json.key("paper_base_peak_c").real(cfg.paper_base_peak_c);
+    json.key("block_us").real(driver.block_seconds() * 1e6);
+    json.key("period_us").real(driver.default_period_s() * 1e6);
+    json.key("total_power_w").real(driver.total_power_w());
+    json.key("calibration_scale").real(driver.calibration_scale());
+    json.key("schemes").begin_array();
+
     std::vector<std::string> row{cfg.name + " (" +
                                  Table::num(cfg.paper_base_peak_c) + ")"};
-    const SchemeEvaluation none =
-        driver.evaluate_scheme(MigrationScheme::kNone);
-    for (MigrationScheme scheme : schemes) {
-      const SchemeEvaluation ev = driver.evaluate_scheme(scheme);
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+      const SchemeEvaluation& ev = evals[i];
       row.push_back(Table::num(ev.reduction_c));
-      reduction_stats[scheme].add(ev.reduction_c);
-      mean_temp_delta[scheme].add(ev.mean_temp_c - none.mean_temp_c);
-      detail.add_row({cfg.name, to_string(scheme),
+      reduction_stats[ev.scheme].add(ev.reduction_c);
+      mean_temp_delta[ev.scheme].add(ev.mean_temp_c - none.mean_temp_c);
+      detail.add_row({cfg.name, to_string(ev.scheme),
                       Table::num(ev.peak_temp_c),
                       Table::num(ev.reduction_c),
                       Table::num(ev.mean_temp_c),
@@ -64,9 +92,26 @@ int run() {
                       Table::num(ev.throughput_penalty * 100, 2) + "%",
                       std::to_string(ev.phases),
                       std::to_string(ev.orbit_length)});
+      json.begin_object();
+      json.key("scheme").string(to_string(ev.scheme));
+      json.key("peak_c").real(ev.peak_temp_c);
+      json.key("reduction_c").real(ev.reduction_c);
+      json.key("mean_c").real(ev.mean_temp_c);
+      json.key("ripple_c").real(ev.ripple_c);
+      json.key("migration_us").real(ev.migration_s * 1e6);
+      json.key("throughput_penalty").real(ev.throughput_penalty);
+      json.key("migration_energy_j").real(ev.migration_energy_j);
+      json.key("phases").integer(ev.phases);
+      json.key("state_flits").uinteger(ev.state_flits);
+      json.key("orbit").integer(ev.orbit_length);
+      json.key("converged").boolean(ev.thermal_converged);
+      json.end_object();
     }
+    json.end_array();
+    json.end_object();
     fig1.add_row(std::move(row));
   }
+  json.end_array();
 
   std::cout << "\n";
   fig1.print(std::cout);
@@ -79,18 +124,35 @@ int run() {
       "Section 3 summary — average reduction across configurations "
       "(paper: X-Y Shift 4.62, Rot 4.15; rotation heats the chip by ~0.3 C "
       "through reconfiguration energy)");
+  json.key("averages").begin_array();
   for (MigrationScheme scheme : schemes) {
     const RunningStats& s = reduction_stats[scheme];
     averages.add_row({to_string(scheme), Table::num(s.mean()),
                       Table::num(s.min()), Table::num(s.max()),
                       Table::num(mean_temp_delta[scheme].mean(), 3)});
+    json.begin_object();
+    json.key("scheme").string(to_string(scheme));
+    json.key("avg_reduction_c").real(s.mean());
+    json.key("min_reduction_c").real(s.min());
+    json.key("max_reduction_c").real(s.max());
+    json.key("avg_mean_temp_delta_c").real(mean_temp_delta[scheme].mean());
+    json.end_object();
   }
+  json.end_array();
+  json.end_object();
   std::cout << "\n";
   averages.print(std::cout);
+  std::cout << "\nwrote " << args.json_path << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace renoc
 
-int main() { return renoc::run(); }
+int main(int argc, char** argv) {
+  renoc::bench::PaperArgs args;
+  if (const int rc =
+          renoc::bench::parse_paper_args(argc, argv, "PAPER_fig1.json", args))
+    return rc;
+  return renoc::run(args);
+}

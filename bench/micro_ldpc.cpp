@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <new>
 #include <string>
@@ -27,6 +28,7 @@
 
 #include "bench_timing.hpp"
 #include "core/transform.hpp"
+#include "util/json.hpp"
 #include "ldpc/ber_harness.hpp"
 #include "ldpc/channel.hpp"
 #include "ldpc/decoder.hpp"
@@ -213,47 +215,53 @@ BerScaling run_ber_scaling(const CodeFixture& f, BerConfig cfg,
 void write_json(const std::string& path, bool smoke,
                 const std::vector<GoldenRow>& golden, const NocRow& noc,
                 const BerScaling& ber, const BerConfig& ber_cfg) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
+  std::ofstream out(path);
+  if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"micro_ldpc\",\n  \"smoke\": %s,\n",
-               smoke ? "true" : "false");
-  std::fprintf(out, "  \"golden_decode\": [\n");
-  for (std::size_t i = 0; i < golden.size(); ++i) {
-    const GoldenRow& r = golden[i];
-    std::fprintf(out,
-                 "    {\"n\": %d, \"iterations\": 10, \"ref_ms\": %.6f, "
-                 "\"flat_ms\": %.6f, \"speedup\": %.3f, "
-                 "\"steady_state_allocs\": %ld, \"bit_exact\": %s}%s\n",
-                 r.n, r.ref_ms, r.flat_ms, r.speedup, r.steady_allocs,
-                 r.bit_exact ? "true" : "false",
-                 i + 1 < golden.size() ? "," : "");
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").string("micro_ldpc");
+  json.key("smoke").boolean(smoke);
+  json.key("golden_decode").begin_array();
+  for (const GoldenRow& r : golden) {
+    json.begin_object();
+    json.key("n").integer(r.n);
+    json.key("iterations").integer(10);
+    json.key("ref_ms").real(r.ref_ms);
+    json.key("flat_ms").real(r.flat_ms);
+    json.key("speedup").real(r.speedup, 3);
+    json.key("steady_state_allocs").integer(r.steady_allocs);
+    json.key("bit_exact").boolean(r.bit_exact);
+    json.end_object();
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out,
-               "  \"noc_block_decode\": {\"n\": 510, \"clusters\": 16, "
-               "\"iterations\": %d, \"ms\": %.6f, \"matches_golden\": %s},\n",
-               noc.iterations, noc.ms, noc.matches_golden ? "true" : "false");
-  std::fprintf(out,
-               "  \"ber_sweep\": {\"points\": %d, \"blocks_per_point\": %d, "
-               "\"iterations\": %d, \"blocks\": %lld, \"bit_errors\": %lld, "
-               "\"deterministic\": %s, \"threads\": [\n",
-               static_cast<int>(ber_cfg.ebn0_db.size()),
-               ber_cfg.blocks_per_point, ber_cfg.iterations,
-               static_cast<long long>(ber.blocks),
-               static_cast<long long>(ber.bit_errors),
-               ber.deterministic ? "true" : "false");
-  for (std::size_t i = 0; i < ber.rows.size(); ++i) {
-    const BerScalingRow& r = ber.rows[i];
-    std::fprintf(out,
-                 "    {\"threads\": %d, \"ms\": %.6f, \"speedup\": %.3f}%s\n",
-                 r.threads, r.ms, r.speedup,
-                 i + 1 < ber.rows.size() ? "," : "");
+  json.end_array();
+  json.key("noc_block_decode").begin_object();
+  json.key("n").integer(510);
+  json.key("clusters").integer(16);
+  json.key("iterations").integer(noc.iterations);
+  json.key("ms").real(noc.ms);
+  json.key("matches_golden").boolean(noc.matches_golden);
+  json.end_object();
+  json.key("ber_sweep").begin_object();
+  json.key("points").integer(static_cast<int>(ber_cfg.ebn0_db.size()));
+  json.key("blocks_per_point").integer(ber_cfg.blocks_per_point);
+  json.key("iterations").integer(ber_cfg.iterations);
+  json.key("blocks").integer(static_cast<long long>(ber.blocks));
+  json.key("bit_errors").integer(static_cast<long long>(ber.bit_errors));
+  json.key("deterministic").boolean(ber.deterministic);
+  json.key("threads").begin_array();
+  for (const BerScalingRow& r : ber.rows) {
+    json.begin_object();
+    json.key("threads").integer(r.threads);
+    json.key("ms").real(r.ms);
+    json.key("speedup").real(r.speedup, 3);
+    json.end_object();
   }
-  std::fprintf(out, "  ]}\n}\n");
-  std::fclose(out);
+  json.end_array();
+  json.end_object();
+  json.end_object();
   std::printf("\nwrote %s\n", path.c_str());
 }
 

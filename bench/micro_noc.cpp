@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <new>
 #include <string>
@@ -30,6 +31,7 @@
 
 #include "bench_timing.hpp"
 #include "noc/fabric.hpp"
+#include "util/json.hpp"
 #include "noc/reference_fabric.hpp"
 #include "noc/sweep_harness.hpp"
 #include "noc/traffic.hpp"
@@ -292,47 +294,53 @@ void write_json(const std::string& path, bool smoke,
                 const std::vector<CompareRow>& compares,
                 const std::vector<RateRow>& rates, long steady_allocs,
                 const SweepGuard& sweep) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
+  std::ofstream out(path);
+  if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"micro_noc\",\n  \"smoke\": %s,\n",
-               smoke ? "true" : "false");
-  std::fprintf(out, "  \"engine_compare\": [\n");
-  for (std::size_t i = 0; i < compares.size(); ++i) {
-    const CompareRow& r = compares[i];
-    std::fprintf(out,
-                 "    {\"scenario\": \"%s\", \"cycles\": %llu, "
-                 "\"packets\": %llu, \"bit_exact\": %s}%s\n",
-                 r.scenario.c_str(),
-                 static_cast<unsigned long long>(r.cycles),
-                 static_cast<unsigned long long>(r.packets),
-                 r.bit_exact ? "true" : "false",
-                 i + 1 < compares.size() ? "," : "");
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").string("micro_noc");
+  json.key("smoke").boolean(smoke);
+  json.key("engine_compare").begin_array();
+  for (const CompareRow& r : compares) {
+    json.begin_object();
+    json.key("scenario").string(r.scenario);
+    json.key("cycles").uinteger(r.cycles);
+    json.key("packets").uinteger(r.packets);
+    json.key("bit_exact").boolean(r.bit_exact);
+    json.end_object();
   }
-  std::fprintf(out, "  ],\n  \"step_rate\": [\n");
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    const RateRow& r = rates[i];
-    std::fprintf(out,
-                 "    {\"mesh\": %d, \"rate\": %.2f, \"words\": %d, "
-                 "\"seed_ms\": %.4f, \"flat_ms\": %.4f, "
-                 "\"seed_cycles_per_sec\": %.0f, "
-                 "\"flat_cycles_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
-                 r.side, r.rate, r.words, r.seed_ms, r.flat_ms, r.seed_cps,
-                 r.flat_cps, r.speedup, i + 1 < rates.size() ? "," : "");
+  json.end_array();
+  json.key("step_rate").begin_array();
+  for (const RateRow& r : rates) {
+    json.begin_object();
+    json.key("mesh").integer(r.side);
+    json.key("rate").real(r.rate, 2);
+    json.key("words").integer(r.words);
+    json.key("seed_ms").real(r.seed_ms);
+    json.key("flat_ms").real(r.flat_ms);
+    json.key("seed_cycles_per_sec").real(r.seed_cps, 0);
+    json.key("flat_cycles_per_sec").real(r.flat_cps, 0);
+    json.key("speedup").real(r.speedup, 3);
+    json.end_object();
   }
-  std::fprintf(out, "  ],\n  \"steady_state_allocs\": %ld,\n", steady_allocs);
-  std::fprintf(out,
-               "  \"sweep_determinism\": {\"scenarios\": %d, "
-               "\"deterministic\": %s, \"threads\": [\n",
-               sweep.scenarios, sweep.deterministic ? "true" : "false");
-  for (std::size_t i = 0; i < sweep.thread_ms.size(); ++i)
-    std::fprintf(out, "    {\"threads\": %d, \"ms\": %.3f}%s\n",
-                 sweep.thread_ms[i].first, sweep.thread_ms[i].second,
-                 i + 1 < sweep.thread_ms.size() ? "," : "");
-  std::fprintf(out, "  ]}\n}\n");
-  std::fclose(out);
+  json.end_array();
+  json.key("steady_state_allocs").integer(steady_allocs);
+  json.key("sweep_determinism").begin_object();
+  json.key("scenarios").integer(sweep.scenarios);
+  json.key("deterministic").boolean(sweep.deterministic);
+  json.key("threads").begin_array();
+  for (const auto& [threads, ms] : sweep.thread_ms) {
+    json.begin_object();
+    json.key("threads").integer(threads);
+    json.key("ms").real(ms, 3);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
   std::printf("\nwrote %s\n", path.c_str());
 }
 

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <new>
 #include <string>
@@ -30,6 +31,7 @@
 
 #include "bench_timing.hpp"
 #include "core/adaptive_policy.hpp"
+#include "util/json.hpp"
 #include "core/experiment_sweep.hpp"
 #include "core/reference_runtime.hpp"
 #include "core/thermal_runtime.hpp"
@@ -268,45 +270,53 @@ SweepScaling run_sweep_scaling(bool smoke, double budget_ms) {
 void write_json(const std::string& path, bool smoke,
                 const std::vector<CosimRow>& cosim, const PolicyRow& policy,
                 const SweepScaling& sweep) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
+  std::ofstream out(path);
+  if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"micro_runtime\",\n  \"smoke\": %s,\n",
-               smoke ? "true" : "false");
-  std::fprintf(out, "  \"cosim\": [\n");
-  for (std::size_t i = 0; i < cosim.size(); ++i) {
-    const CosimRow& r = cosim[i];
-    std::fprintf(out,
-                 "    {\"refine\": %d, \"nodes\": %d, \"nnz_rcm\": %d, "
-                 "\"nnz_md\": %d, \"ref_ms\": %.6f, \"engine_ms\": %.6f, "
-                 "\"speedup\": %.3f, \"orbits\": %d, "
-                 "\"steady_state_allocs\": %ld, \"agree_1e10\": %s}%s\n",
-                 r.refine, r.nodes, r.nnz_rcm, r.nnz_md, r.ref_ms,
-                 r.engine_ms, r.speedup, r.orbits, r.steady_allocs,
-                 r.agree ? "true" : "false",
-                 i + 1 < cosim.size() ? "," : "");
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").string("micro_runtime");
+  json.key("smoke").boolean(smoke);
+  json.key("cosim").begin_array();
+  for (const CosimRow& r : cosim) {
+    json.begin_object();
+    json.key("refine").integer(r.refine);
+    json.key("nodes").integer(r.nodes);
+    json.key("nnz_rcm").integer(r.nnz_rcm);
+    json.key("nnz_md").integer(r.nnz_md);
+    json.key("ref_ms").real(r.ref_ms);
+    json.key("engine_ms").real(r.engine_ms);
+    json.key("speedup").real(r.speedup, 3);
+    json.key("orbits").integer(r.orbits);
+    json.key("steady_state_allocs").integer(r.steady_allocs);
+    json.key("agree_1e10").boolean(r.agree);
+    json.end_object();
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out,
-               "  \"policy_lookahead\": {\"nodes\": %d, \"candidates\": %d, "
-               "\"scalar_ms\": %.6f, \"batch_ms\": %.6f, \"speedup\": %.3f, "
-               "\"bit_match\": %s},\n",
-               policy.nodes, policy.candidates, policy.scalar_ms,
-               policy.batch_ms, policy.speedup,
-               policy.bit_match ? "true" : "false");
-  std::fprintf(out,
-               "  \"experiment_sweep\": {\"scenarios\": %d, "
-               "\"deterministic\": %s, \"replay_ok\": %s, \"threads\": [\n",
-               sweep.scenarios, sweep.deterministic ? "true" : "false",
-               sweep.replay_ok ? "true" : "false");
-  for (std::size_t i = 0; i < sweep.rows.size(); ++i)
-    std::fprintf(out, "    {\"threads\": %d, \"ms\": %.6f}%s\n",
-                 sweep.rows[i].threads, sweep.rows[i].ms,
-                 i + 1 < sweep.rows.size() ? "," : "");
-  std::fprintf(out, "  ]}\n}\n");
-  std::fclose(out);
+  json.end_array();
+  json.key("policy_lookahead").begin_object();
+  json.key("nodes").integer(policy.nodes);
+  json.key("candidates").integer(policy.candidates);
+  json.key("scalar_ms").real(policy.scalar_ms);
+  json.key("batch_ms").real(policy.batch_ms);
+  json.key("speedup").real(policy.speedup, 3);
+  json.key("bit_match").boolean(policy.bit_match);
+  json.end_object();
+  json.key("experiment_sweep").begin_object();
+  json.key("scenarios").integer(sweep.scenarios);
+  json.key("deterministic").boolean(sweep.deterministic);
+  json.key("replay_ok").boolean(sweep.replay_ok);
+  json.key("threads").begin_array();
+  for (const SweepScalingRow& r : sweep.rows) {
+    json.begin_object();
+    json.key("threads").integer(r.threads);
+    json.key("ms").real(r.ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
   std::printf("\nwrote %s\n", path.c_str());
 }
 

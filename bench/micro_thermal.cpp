@@ -9,13 +9,19 @@
 // 1e-8 on a steady solve, so a broken sparse path fails the binary instead
 // of printing fast nonsense.
 //
-// Usage: bench_micro_thermal [--smoke]
+// Results are also written as machine-readable JSON (BENCH_thermal.json
+// by default, shared util/json emitter) so CI can archive them per commit
+// alongside the other BENCH_*.json records.
+//
+// Usage: bench_micro_thermal [--smoke] [--json <path>]
 //   --smoke   tiny sizes and budgets; used by CI and scripts/check.sh so
 //             this target can never silently rot.
+//   --json    output path for the JSON record (default BENCH_thermal.json).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -26,6 +32,7 @@
 #include "thermal/hotspot_params.hpp"
 #include "thermal/rc_network.hpp"
 #include "thermal/solver.hpp"
+#include "util/json.hpp"
 #include "util/sparse.hpp"
 #include "util/table.hpp"
 
@@ -47,59 +54,107 @@ RcNetwork net_for(int refine) {
 using bench::time_ms;
 
 struct RowResult {
+  int refine = 0;
+  int nodes = 0;
+  int nnz_g = 0;
+  int nnz_l = 0;
+  double dense_factor_ms = 0.0;
+  double sparse_factor_ms = 0.0;
+  double dense_solve_ms = 0.0;
+  double sparse_solve_ms = 0.0;
+  double dense_step_ms = 0.0;
+  double sparse_step_ms = 0.0;
   bool agree = true;
   double speedup = 0.0;  // dense / sparse, factor + solve
 };
 
 RowResult run_row(Table& table, int refine, double budget_ms) {
   const RcNetwork net = net_for(refine);
-  const int n = net.node_count();
+  RowResult r;
+  r.refine = refine;
+  r.nodes = net.node_count();
   std::vector<double> power(static_cast<std::size_t>(net.die_count()), 2.0);
   power[0] = 9.0;
 
-  const double dense_factor = time_ms(budget_ms, [&] {
+  r.dense_factor_ms = time_ms(budget_ms, [&] {
     SteadyStateSolver s(net, SolverBackend::kDense);
     (void)s;
   });
-  const double sparse_factor = time_ms(budget_ms, [&] {
+  r.sparse_factor_ms = time_ms(budget_ms, [&] {
     SteadyStateSolver s(net, SolverBackend::kSparse);
     (void)s;
   });
 
   const SteadyStateSolver dense(net, SolverBackend::kDense);
   const SteadyStateSolver sparse(net, SolverBackend::kSparse);
-  const double dense_solve =
+  r.dense_solve_ms =
       time_ms(budget_ms, [&] { dense.solve_die_power(power); });
-  const double sparse_solve =
+  r.sparse_solve_ms =
       time_ms(budget_ms, [&] { sparse.solve_die_power(power); });
 
   TransientSolver dense_tr(net, 2e-6, SolverBackend::kDense);
   TransientSolver sparse_tr(net, 2e-6, SolverBackend::kSparse);
   const std::vector<double> full = net.expand_die_power(power);
-  const double dense_step = time_ms(budget_ms, [&] { dense_tr.step(full); });
-  const double sparse_step =
-      time_ms(budget_ms, [&] { sparse_tr.step(full); });
+  r.dense_step_ms = time_ms(budget_ms, [&] { dense_tr.step(full); });
+  r.sparse_step_ms = time_ms(budget_ms, [&] { sparse_tr.step(full); });
 
-  RowResult r;
   const std::vector<double> rise_d = dense.solve_die_power(power);
   const std::vector<double> rise_s = sparse.solve_die_power(power);
   for (std::size_t i = 0; i < rise_d.size(); ++i)
     if (std::fabs(rise_d[i] - rise_s[i]) > 1e-8) r.agree = false;
-  r.speedup = (dense_factor + dense_solve) / (sparse_factor + sparse_solve);
+  r.speedup = (r.dense_factor_ms + r.dense_solve_ms) /
+              (r.sparse_factor_ms + r.sparse_solve_ms);
 
   const SparseLdlt ldlt(net.conductance_sparse());
+  r.nnz_g = net.conductance_sparse().nnz();
+  r.nnz_l = ldlt.factor_nnz();
   table.add_row({std::to_string(refine), std::to_string(4 * refine),
-                 std::to_string(n),
-                 std::to_string(net.conductance_sparse().nnz()),
-                 std::to_string(ldlt.factor_nnz()),
-                 Table::num(dense_factor, 3), Table::num(sparse_factor, 3),
-                 Table::num(dense_solve, 4), Table::num(sparse_solve, 4),
-                 Table::num(dense_step, 4), Table::num(sparse_step, 4),
+                 std::to_string(r.nodes), std::to_string(r.nnz_g),
+                 std::to_string(r.nnz_l),
+                 Table::num(r.dense_factor_ms, 3),
+                 Table::num(r.sparse_factor_ms, 3),
+                 Table::num(r.dense_solve_ms, 4),
+                 Table::num(r.sparse_solve_ms, 4),
+                 Table::num(r.dense_step_ms, 4),
+                 Table::num(r.sparse_step_ms, 4),
                  Table::num(r.speedup, 1), r.agree ? "yes" : "NO"});
   return r;
 }
 
-int run(bool smoke) {
+void write_json(const std::string& path, bool smoke,
+                const std::vector<RowResult>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").string("micro_thermal");
+  json.key("smoke").boolean(smoke);
+  json.key("rows").begin_array();
+  for (const RowResult& r : rows) {
+    json.begin_object();
+    json.key("refine").integer(r.refine);
+    json.key("nodes").integer(r.nodes);
+    json.key("nnz_g").integer(r.nnz_g);
+    json.key("nnz_l").integer(r.nnz_l);
+    json.key("dense_factor_ms").real(r.dense_factor_ms);
+    json.key("sparse_factor_ms").real(r.sparse_factor_ms);
+    json.key("dense_solve_ms").real(r.dense_solve_ms);
+    json.key("sparse_solve_ms").real(r.sparse_solve_ms);
+    json.key("dense_step_ms").real(r.dense_step_ms);
+    json.key("sparse_step_ms").real(r.sparse_step_ms);
+    json.key("speedup").real(r.speedup, 3);
+    json.key("agree_1e8").boolean(r.agree);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run(bool smoke, const std::string& json_path) {
   const std::vector<int> refines =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3, 4, 6, 8};
   const double budget_ms = smoke ? 5.0 : 200.0;
@@ -113,12 +168,14 @@ int run(bool smoke) {
                   "over sparse)") +
       (smoke ? " [smoke]" : ""));
 
+  std::vector<RowResult> rows;
   bool all_agree = true;
   for (int refine : refines) {
-    const RowResult r = run_row(table, refine, budget_ms);
-    all_agree = all_agree && r.agree;
+    rows.push_back(run_row(table, refine, budget_ms));
+    all_agree = all_agree && rows.back().agree;
   }
   table.print(std::cout);
+  write_json(json_path, smoke, rows);
 
   if (!all_agree) {
     std::cerr << "FAIL: dense and sparse solvers disagree beyond 1e-8\n";
@@ -132,13 +189,16 @@ int run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string json_path = "BENCH_thermal.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
       return 2;
     }
   }
-  return renoc::run(smoke);
+  return renoc::run(smoke, json_path);
 }

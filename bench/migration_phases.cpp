@@ -13,12 +13,19 @@
 // arbitration interleavings across the whole transfer, which is exactly
 // what the paper's real-time argument rules out; phased latency must also
 // stay within the analytic bound.
+//
+// --smoke / --json: see bench/paper_bench.hpp; emits PAPER_phases.json.
+// Every cycle/flit count here is deterministic, so the golden pins them
+// exactly.
+#include <fstream>
 #include <iostream>
 
 #include "core/migration_controller.hpp"
 #include "core/phase_scheduler.hpp"
 #include "core/transform.hpp"
 #include "noc/fabric.hpp"
+#include "paper_bench.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace renoc {
@@ -50,13 +57,22 @@ NaiveResult naive_migration(const GridDim& dim, const Transform& t,
   return r;
 }
 
-int run() {
+int run(const bench::PaperArgs& args) {
   Table t({"Mesh", "Scheme", "State flits", "Phases", "Phased (cyc)",
            "Analytic bound", "Naive (cyc)", "Phased det.", "Naive det."});
   t.set_title("Congestion-free phased migration vs naive all-at-once");
 
+  std::ofstream json_out(args.json_path);
+  JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").string("migration_phases");
+  json.key("smoke").boolean(args.smoke);
+  json.key("rows").begin_array();
+
   const int state_words = 128;
-  for (int side : {4, 5, 8}) {
+  const std::vector<int> sides =
+      args.smoke ? std::vector<int>{4, 5} : std::vector<int>{4, 5, 8};
+  for (int side : sides) {
     const GridDim dim{side, side};
     for (MigrationScheme scheme : figure1_schemes()) {
       const Transform transform = transform_of(scheme);
@@ -97,16 +113,38 @@ int run() {
                  std::to_string(bound), std::to_string(naive1.cycles),
                  phased_deterministic ? "yes" : "NO",
                  naive_deterministic ? "yes" : "NO"});
+
+      json.begin_object();
+      json.key("mesh").integer(side);
+      json.key("scheme").string(to_string(scheme));
+      json.key("state_flits").uinteger(rep1.state_flits);
+      json.key("phases").integer(rep1.phases);
+      json.key("phased_cycles").uinteger(rep1.transfer_cycles);
+      json.key("analytic_bound_cycles").integer(bound);
+      json.key("naive_cycles").uinteger(naive1.cycles);
+      json.key("phased_deterministic").boolean(phased_deterministic);
+      json.key("naive_deterministic").boolean(naive_deterministic);
+      json.end_object();
     }
   }
+  json.end_array();
+  json.end_object();
+
   t.print(std::cout);
   std::cout << "\nPhased latency must never exceed the analytic bound — "
                "that is the deterministic-migration-time property the "
-               "paper needs for real-time systems.\n";
+               "paper needs for real-time systems.\nwrote "
+            << args.json_path << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace renoc
 
-int main() { return renoc::run(); }
+int main(int argc, char** argv) {
+  renoc::bench::PaperArgs args;
+  if (const int rc = renoc::bench::parse_paper_args(argc, argv,
+                                                    "PAPER_phases.json", args))
+    return rc;
+  return renoc::run(args);
+}

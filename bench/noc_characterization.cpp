@@ -6,41 +6,86 @@
 // injection, then grows sharply past saturation, with pattern-dependent
 // saturation points (hotspot saturates first, neighbor traffic last).
 // These curves document the fabric the LDPC experiments run on.
+//
+// The whole {pattern x mesh x rate} grid runs through the threaded
+// engine harness (run_noc_sweep) — thread-count-invariant results, one
+// RNG stream per scenario, warm-up/measure/drain methodology.
+//
+// --smoke / --json: see bench/paper_bench.hpp; emits PAPER_noc.json.
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <thread>
 
-#include "noc/fabric.hpp"
-#include "noc/traffic.hpp"
+#include "noc/sweep_harness.hpp"
+#include "paper_bench.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace renoc {
 namespace {
 
-double mean_latency(TrafficPattern pattern, double rate, int side) {
-  NocConfig cfg;
-  cfg.dim = GridDim{side, side};
-  Fabric fabric(cfg);
-  TrafficGenerator gen(fabric, pattern, rate, 4, Rng(42), /*hotspot=*/0);
-  gen.run(6000);
-  fabric.drain(2'000'000);
-  return fabric.stats().packet_latency().mean();
-}
+int run(const bench::PaperArgs& args) {
+  SweepConfig sweep;
+  sweep.patterns = {TrafficPattern::kUniformRandom, TrafficPattern::kTranspose,
+                    TrafficPattern::kBitComplement, TrafficPattern::kNeighbor,
+                    TrafficPattern::kHotspot};
+  sweep.mesh_sides = args.smoke ? std::vector<int>{4, 8}
+                                : std::vector<int>{4, 8};
+  sweep.injection_rates = {0.02, 0.05, 0.10, 0.20, 0.35};
+  if (args.smoke) {
+    sweep.warmup_cycles = 200;
+    sweep.measure_cycles = 800;
+  } else {
+    sweep.warmup_cycles = 500;
+    sweep.measure_cycles = 6000;
+  }
+  sweep.threads = std::max(1u, std::thread::hardware_concurrency());
+  sweep.seed = 42;
+  const std::vector<SweepPoint> points = run_noc_sweep(sweep);
 
-int run() {
-  const std::vector<TrafficPattern> patterns = {
-      TrafficPattern::kUniformRandom, TrafficPattern::kTranspose,
-      TrafficPattern::kBitComplement, TrafficPattern::kNeighbor,
-      TrafficPattern::kHotspot};
-  const std::vector<double> rates = {0.02, 0.05, 0.10, 0.20, 0.35};
+  std::ofstream json_out(args.json_path);
+  JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").string("noc_characterization");
+  json.key("smoke").boolean(args.smoke);
+  json.key("points").begin_array();
+  for (const SweepPoint& pt : points) {
+    json.begin_object();
+    json.key("pattern").string(to_string(pt.scenario.pattern));
+    json.key("mesh").integer(pt.scenario.dim.width);
+    json.key("injection_rate").real(pt.scenario.injection_rate);
+    json.key("avg_latency_cycles").real(pt.avg_latency_cycles);
+    json.key("max_latency_cycles").real(pt.max_latency_cycles);
+    json.key("offered_flit_rate").real(pt.offered_flit_rate);
+    json.key("injected_flit_rate").real(pt.injected_flit_rate);
+    json.key("accepted_flit_rate").real(pt.accepted_flit_rate);
+    json.key("messages_sent").uinteger(pt.messages_sent);
+    json.key("messages_received").uinteger(pt.messages_received);
+    json.key("packets_delivered").uinteger(pt.packets_delivered);
+    json.key("flits_delivered").uinteger(pt.flits_delivered);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
 
-  for (int side : {4, 8}) {
+  // points are pattern-major, then mesh side, then rate: rebuild the
+  // per-mesh latency tables from the flat grid.
+  const std::size_t n_rates = sweep.injection_rates.size();
+  const std::size_t n_sides = sweep.mesh_sides.size();
+  for (std::size_t side_i = 0; side_i < n_sides; ++side_i) {
+    const int side = sweep.mesh_sides[side_i];
     Table t({"Pattern", "0.02", "0.05", "0.10", "0.20", "0.35"});
     t.set_title("Mean packet latency (cycles) vs injection rate "
                 "(flits/node/cycle), " +
                 std::to_string(side) + "x" + std::to_string(side) + " mesh");
-    for (TrafficPattern p : patterns) {
-      std::vector<std::string> row{to_string(p)};
-      for (double rate : rates)
-        row.push_back(Table::num(mean_latency(p, rate, side), 1));
+    for (std::size_t p = 0; p < sweep.patterns.size(); ++p) {
+      std::vector<std::string> row{to_string(sweep.patterns[p])};
+      for (std::size_t r = 0; r < n_rates; ++r) {
+        const SweepPoint& pt =
+            points[(p * n_sides + side_i) * n_rates + r];
+        row.push_back(Table::num(pt.avg_latency_cycles, 1));
+      }
       t.add_row(std::move(row));
     }
     t.print(std::cout);
@@ -48,11 +93,18 @@ int run() {
   }
   std::cout << "Expected shape: flat near zero load, sharp growth past "
                "saturation; hotspot\nsaturates earliest, neighbor traffic "
-               "latest.\n";
+               "latest.\nwrote "
+            << args.json_path << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace renoc
 
-int main() { return renoc::run(); }
+int main(int argc, char** argv) {
+  renoc::bench::PaperArgs args;
+  if (const int rc =
+          renoc::bench::parse_paper_args(argc, argv, "PAPER_noc.json", args))
+    return rc;
+  return renoc::run(args);
+}

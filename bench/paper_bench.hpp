@@ -1,0 +1,73 @@
+// Shared plumbing for the eight paper benches (the figure/table
+// reproductions): command-line contract, smoke scaling, and the config
+// roster each mode runs.
+//
+// Every paper bench accepts
+//
+//   --smoke        shrink the workload to the test suite's fast_config
+//                  scale (seconds, CI-friendly) — the mode the goldens
+//                  under goldens/ are pinned at;
+//   --json PATH    where to write the machine-readable record
+//                  (default PAPER_<figure>.json in the working dir).
+//
+// The JSON schema convention the golden differ relies on: timing fields
+// are named "ms"/"*_ms" (skipped in comparisons), counts are emitted as
+// integer tokens (compared exactly), temperatures and other reals are
+// tolerance-checked. See src/util/json.hpp.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/chip_config.hpp"
+
+namespace renoc::bench {
+
+struct PaperArgs {
+  bool smoke = false;
+  std::string json_path;
+};
+
+/// Parses --smoke / --json PATH (in any order). Returns 0 on success and
+/// fills `out`; returns 2 (and prints usage) on an unknown flag or a
+/// missing --json operand.
+inline int parse_paper_args(int argc, char** argv,
+                            std::string_view default_json, PaperArgs& out) {
+  out.smoke = false;
+  out.json_path = std::string(default_json);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      out.smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      out.json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+/// The fast_config scaling the test suite uses (tests/system_test.cpp):
+/// a shorter code, fewer decode iterations, and a lighter placer anneal.
+/// Calibration still targets the paper's base peak, so temperatures stay
+/// in the paper's regime; only the workload measurement shrinks.
+inline ChipConfig smoke_scaled(ChipConfig cfg) {
+  cfg.workload.code_n = cfg.dim.width == 4 ? 510 : 600;
+  cfg.ldpc_params.iterations = 4;
+  cfg.placer.iterations = 4000;
+  return cfg;
+}
+
+/// The configuration roster: all five chips in full mode; one even-mesh
+/// (A, 4x4) and one odd-mesh (C, 5x5) chip at fast_config scale in smoke
+/// mode — odd meshes exercise the rotation/mirror fixed-point path.
+inline std::vector<ChipConfig> paper_configs(bool smoke) {
+  if (!smoke) return all_configs();
+  return {smoke_scaled(config_A()), smoke_scaled(config_C())};
+}
+
+}  // namespace renoc::bench

@@ -9,22 +9,31 @@
 //  less than 0.2% without significant impact on peak temperature."
 //
 // The sweep runs every configuration at periods of 1, 4, and 8 decoded
-// blocks (the paper aligns migration with LDPC block completion), using
-// the X-Y Shift scheme (the paper's best performer) and rotation (its
-// costliest migration), and reports the throughput penalty both from the
-// analytic halt model and from actually streaming blocks through the
-// ReconfigurableLdpcSystem with interleaved migrations.
+// blocks (the paper aligns migration with LDPC block completion) through
+// one ExperimentDriver::scheme_study over the X-Y Shift scheme (the
+// paper's best performer) and rotation (its costliest migration), and
+// reports the throughput penalty both from the analytic halt model and
+// from actually streaming blocks through the ReconfigurableLdpcSystem
+// with interleaved migrations.
+//
+// --smoke / --json: see bench/paper_bench.hpp; emits PAPER_period.json.
+#include <fstream>
 #include <iostream>
+#include <iterator>
 
 #include "core/experiment.hpp"
 #include "core/reconfigurable_system.hpp"
+#include "paper_bench.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace renoc {
 namespace {
 
-int run() {
+constexpr int kBlocksPerPeriod[] = {1, 4, 8};
+
+int run(const bench::PaperArgs& args) {
   Table sweep({"Config", "Scheme", "Blocks/period", "Period (us)",
                "Peak (C)", "Peak vs 1-block (C)", "t_mig (us)",
                "Penalty (model)", "Penalty (streamed)"});
@@ -32,53 +41,91 @@ int run() {
       "Section 3 period sweep — paper: 109.3 us -> 1.6%; 437.2 us -> <0.4%, "
       "peak +<0.1 C; 874.4 us -> <0.2%");
 
-  for (const ChipConfig& cfg : all_configs()) {
+  std::ofstream json_out(args.json_path);
+  JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").string("period_sweep");
+  json.key("smoke").boolean(args.smoke);
+  json.key("rows").begin_array();
+
+  for (const ChipConfig& cfg : bench::paper_configs(args.smoke)) {
     ExperimentDriver driver(cfg);
     driver.prepare();
-    for (MigrationScheme scheme :
-         {MigrationScheme::kShiftXY, MigrationScheme::kRotation}) {
-      double peak_at_one_block = 0.0;
-      for (int blocks_per_period : {1, 4, 8}) {
-        const double period = blocks_per_period * driver.block_seconds();
-        const SchemeEvaluation ev = driver.evaluate_scheme(scheme, period);
-        if (blocks_per_period == 1) peak_at_one_block = ev.peak_temp_c;
+    std::vector<double> periods;
+    for (int blocks : kBlocksPerPeriod)
+      periods.push_back(blocks * driver.block_seconds());
 
-        // Stream real blocks through the full system to measure the
-        // penalty end to end. Timing is deterministic, so the per-period
-        // penalty is exactly t_mig / (t_mig + blocks-per-period block
-        // times), extracted from one migration and its surrounding blocks.
-        ReconfigurableLdpcSystem migrating(cfg, scheme);
-        const StreamResult with_mig =
-            migrating.run_stream(2 * blocks_per_period, blocks_per_period);
-        RENOC_CHECK(with_mig.all_blocks_match_golden);
-        RENOC_CHECK(with_mig.migrations == 1);
-        const double mig_cycles =
-            static_cast<double>(with_mig.migration_cycles);
-        const double period_cycles =
-            static_cast<double>(blocks_per_period) *
-            static_cast<double>(migrating.block_cycles());
-        const double streamed_penalty =
-            mig_cycles / (mig_cycles + period_cycles);
+    // One study call: both schemes at all three periods, scheme-major, so
+    // each scheme's orbit is simulated once and each period factored once.
+    const std::vector<SchemeEvaluation> evals = driver.scheme_study(
+        {MigrationScheme::kShiftXY, MigrationScheme::kRotation}, periods);
 
-        sweep.add_row({cfg.name, to_string(scheme),
-                       std::to_string(blocks_per_period),
-                       Table::num(period * 1e6, 1),
-                       Table::num(ev.peak_temp_c),
-                       Table::num(ev.peak_temp_c - peak_at_one_block, 3),
-                       Table::num(ev.migration_s * 1e6, 2),
-                       Table::num(ev.throughput_penalty * 100, 2) + "%",
-                       Table::num(streamed_penalty * 100, 2) + "%"});
-      }
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      const SchemeEvaluation& ev = evals[i];
+      const int blocks_per_period = kBlocksPerPeriod[i % std::size(periods)];
+      const double peak_at_one_block =
+          evals[i - i % std::size(periods)].peak_temp_c;
+
+      // Stream real blocks through the full system to measure the
+      // penalty end to end. Timing is deterministic, so the per-period
+      // penalty is exactly t_mig / (t_mig + blocks-per-period block
+      // times), extracted from one migration and its surrounding blocks.
+      ReconfigurableLdpcSystem migrating(cfg, ev.scheme);
+      const StreamResult with_mig =
+          migrating.run_stream(2 * blocks_per_period, blocks_per_period);
+      RENOC_CHECK(with_mig.all_blocks_match_golden);
+      RENOC_CHECK(with_mig.migrations == 1);
+      const double mig_cycles =
+          static_cast<double>(with_mig.migration_cycles);
+      const double period_cycles =
+          static_cast<double>(blocks_per_period) *
+          static_cast<double>(migrating.block_cycles());
+      const double streamed_penalty =
+          mig_cycles / (mig_cycles + period_cycles);
+
+      sweep.add_row({cfg.name, to_string(ev.scheme),
+                     std::to_string(blocks_per_period),
+                     Table::num(ev.period_s * 1e6, 1),
+                     Table::num(ev.peak_temp_c),
+                     Table::num(ev.peak_temp_c - peak_at_one_block, 3),
+                     Table::num(ev.migration_s * 1e6, 2),
+                     Table::num(ev.throughput_penalty * 100, 2) + "%",
+                     Table::num(streamed_penalty * 100, 2) + "%"});
+
+      json.begin_object();
+      json.key("config").string(cfg.name);
+      json.key("scheme").string(to_string(ev.scheme));
+      json.key("blocks_per_period").integer(blocks_per_period);
+      json.key("period_us").real(ev.period_s * 1e6);
+      json.key("peak_c").real(ev.peak_temp_c);
+      json.key("peak_vs_one_block_c").real(ev.peak_temp_c -
+                                           peak_at_one_block);
+      json.key("migration_us").real(ev.migration_s * 1e6);
+      json.key("penalty_model").real(ev.throughput_penalty);
+      json.key("penalty_streamed").real(streamed_penalty);
+      json.key("migration_cycles").uinteger(with_mig.migration_cycles);
+      json.key("block_cycles").uinteger(migrating.block_cycles());
+      json.end_object();
     }
   }
+  json.end_array();
+  json.end_object();
+
   sweep.print(std::cout);
   std::cout << "\nNote: peak-vs-1-block shows how little the peak grows as "
                "the period stretches 8x,\nthe paper's argument for cheap "
-               "infrequent migration.\n";
+               "infrequent migration.\nwrote "
+            << args.json_path << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace renoc
 
-int main() { return renoc::run(); }
+int main(int argc, char** argv) {
+  renoc::bench::PaperArgs args;
+  if (const int rc = renoc::bench::parse_paper_args(argc, argv,
+                                                    "PAPER_period.json", args))
+    return rc;
+  return renoc::run(args);
+}

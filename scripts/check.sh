@@ -6,17 +6,38 @@
 # regression guard exits nonzero when its fast path diverges from the
 # golden reference (bit-exactness, steady-state allocations, thread
 # determinism), and `set -e` turns any such exit into a check failure.
+# The Release pass additionally regenerates every PAPER_*.json figure/table
+# record in --smoke mode and diffs it against the pinned golden under
+# goldens/ with renoc_golden_diff (integer fields exact, temperatures
+# tolerance-checked, *_ms timing skipped).
 # Usage: scripts/check.sh [--skip-bench-smoke] [extra cmake args...]
+# (flags may appear in any argument position)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 bench_smoke=1
-if [[ "${1:-}" == "--skip-bench-smoke" ]]; then
-  bench_smoke=0
-  shift
-fi
+cmake_args=()
+for arg in "$@"; do
+  if [[ "${arg}" == "--skip-bench-smoke" ]]; then
+    bench_smoke=0
+  else
+    cmake_args+=("${arg}")
+  fi
+done
+
+# name:binary:golden triplets for the paper-results pipeline.
+paper_benches=(
+  "fig1:bench_fig1_peak_reduction:PAPER_fig1.json"
+  "table1:bench_table1_transforms:PAPER_table1.json"
+  "dtm:bench_dtm_comparison:PAPER_dtm.json"
+  "period:bench_period_sweep:PAPER_period.json"
+  "phases:bench_migration_phases:PAPER_phases.json"
+  "resolution:bench_grid_resolution:PAPER_resolution.json"
+  "adaptive:bench_adaptive_policy:PAPER_adaptive.json"
+  "noc:bench_noc_characterization:PAPER_noc.json"
+)
 
 for config in Debug Release; do
   build_dir="${repo_root}/build-check-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
@@ -26,14 +47,15 @@ for config in Debug Release; do
     -DRENOC_WERROR=ON \
     -DRENOC_BUILD_BENCH=ON \
     -DRENOC_BUILD_EXAMPLES=ON \
-    "$@"
+    ${cmake_args[@]+"${cmake_args[@]}"}
   echo "== ${config}: build =="
   cmake --build "${build_dir}" -j "${jobs}"
   echo "== ${config}: ctest =="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
   if [[ "${bench_smoke}" == 1 ]]; then
     echo "== ${config}: bench smoke (micro_thermal) =="
-    "${build_dir}/bench/bench_micro_thermal" --smoke
+    "${build_dir}/bench/bench_micro_thermal" --smoke \
+      --json "${build_dir}/BENCH_thermal.json"
     echo "== ${config}: bench smoke (micro_ldpc) =="
     "${build_dir}/bench/bench_micro_ldpc" --smoke \
       --json "${build_dir}/BENCH_ldpc.json"
@@ -43,6 +65,20 @@ for config in Debug Release; do
     echo "== ${config}: bench smoke (micro_runtime) =="
     "${build_dir}/bench/bench_micro_runtime" --smoke \
       --json "${build_dir}/BENCH_runtime.json"
+  fi
+  if [[ "${bench_smoke}" == 1 && "${config}" == "Release" ]]; then
+    echo "== ${config}: paper figures (smoke) vs goldens/ =="
+    for entry in "${paper_benches[@]}"; do
+      name="${entry%%:*}"
+      rest="${entry#*:}"
+      binary="${rest%%:*}"
+      golden="${rest#*:}"
+      echo "-- paper bench: ${name} --"
+      "${build_dir}/bench/${binary}" --smoke \
+        --json "${build_dir}/${golden}" > /dev/null
+      "${build_dir}/tools/renoc_golden_diff" \
+        "${repo_root}/goldens/${golden}" "${build_dir}/${golden}"
+    done
   fi
 done
 

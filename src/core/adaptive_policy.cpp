@@ -177,4 +177,61 @@ Transform AdaptivePolicy::choose(const std::vector<double>& current_power,
   return *best;
 }
 
+AdaptiveSimResult run_adaptive_simulation(
+    const RcNetwork& net, const GridDim& dim, AdaptivePolicy& policy,
+    const std::vector<double>& base_power,
+    const std::map<TransformKind, std::vector<double>>& energy_maps,
+    const AdaptiveSimConfig& cfg) {
+  RENOC_CHECK(cfg.period_s > 0);
+  RENOC_CHECK(cfg.periods >= 5 && cfg.steps_per_period >= 1);
+  RENOC_CHECK(net.die_count() == dim.node_count());
+
+  TransientSolver transient(net,
+                            cfg.period_s / cfg.steps_per_period);
+  transient.set_state_to_steady(base_power);
+
+  std::vector<int> accumulated = identity_permutation(dim.node_count());
+  AdaptiveSimResult result;
+  double settled_peak = 0.0;
+
+  for (int p = 0; p < cfg.periods; ++p) {
+    // Physical power map of the current placement.
+    const std::vector<double> power =
+        apply_permutation(base_power, accumulated);
+
+    const Transform chosen = policy.choose(power, transient.state());
+    ++result.choices[chosen.kind];
+    if (chosen.kind != TransformKind::kIdentity) ++result.migrations;
+    accumulated = compose_permutations(accumulated, chosen.permutation(dim));
+    const std::vector<double> new_power =
+        apply_permutation(base_power, accumulated);
+
+    // Integrate the period; deposit the migration energy in the first
+    // step (identity choices cost nothing).
+    double period_peak = 0.0;
+    for (int s = 0; s < cfg.steps_per_period; ++s) {
+      if (s == 0 && chosen.kind != TransformKind::kIdentity) {
+        auto it = energy_maps.find(chosen.kind);
+        RENOC_CHECK_MSG(it != energy_maps.end(),
+                        "no migration-energy map for chosen transform");
+        std::vector<double> spiked = new_power;
+        for (std::size_t i = 0; i < spiked.size(); ++i)
+          spiked[i] += it->second[i] / transient.dt();
+        transient.step_die_power(spiked);
+      } else {
+        transient.step_die_power(new_power);
+      }
+      period_peak = std::max(
+          period_peak, net.ambient() + net.peak_die_rise(transient.state()));
+    }
+    // The start state is the *static* steady state, whose hot-tile excess
+    // needs several die time constants (~30-40 periods) to decay; settle
+    // over the last fifth.
+    if (p >= cfg.periods - cfg.periods / 5)
+      settled_peak = std::max(settled_peak, period_peak);
+  }
+  result.settled_peak_c = settled_peak;
+  return result;
+}
+
 }  // namespace renoc

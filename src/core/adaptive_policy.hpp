@@ -36,6 +36,7 @@
 // schemes of Figure 1.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -118,5 +119,35 @@ class AdaptivePolicy {
   std::vector<double> power_block_;
   std::vector<double> state_block_;
 };
+
+/// Closed-loop adaptive run parameters. `period_s` must be positive;
+/// `periods` is the run length; each period integrates in
+/// `steps_per_period` backward-Euler steps.
+struct AdaptiveSimConfig {
+  double period_s = 0.0;
+  int periods = 150;
+  int steps_per_period = 50;
+};
+
+struct AdaptiveSimResult {
+  double settled_peak_c = 0.0;          ///< max peak over the last fifth
+  std::map<TransformKind, int> choices;  ///< per-kind selection counts
+  int migrations = 0;                   ///< non-identity choices
+};
+
+/// Simulates `cfg.periods` migration periods under `policy`: per period
+/// the policy picks a transform from the current power map and thermal
+/// state, the placement permutation accumulates, and the RC network
+/// integrates through the period with the chosen transform's migration
+/// energy (from `energy_maps`, keyed by kind — every non-identity
+/// candidate of `policy` must have an entry) deposited in the first step.
+/// The run starts from the static steady state of `base_power`, so the
+/// settled peak is taken over the last fifth of the run (the hot-tile
+/// excess needs several die time constants to decay).
+AdaptiveSimResult run_adaptive_simulation(
+    const RcNetwork& net, const GridDim& dim, AdaptivePolicy& policy,
+    const std::vector<double>& base_power,
+    const std::map<TransformKind, std::vector<double>>& energy_maps,
+    const AdaptiveSimConfig& cfg);
 
 }  // namespace renoc

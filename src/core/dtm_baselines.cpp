@@ -9,23 +9,40 @@ namespace {
 
 constexpr int kStepsPerPeriod = 20;
 
-std::vector<double> scaled_power(const std::vector<double>& power,
-                                 double duty, double leakage_floor) {
-  std::vector<double> out(power.size());
-  const double factor = leakage_floor + (1.0 - leakage_floor) * duty;
-  for (std::size_t i = 0; i < power.size(); ++i)
-    out[i] = power[i] * factor;
-  return out;
+}  // namespace
+
+namespace detail {
+
+TransientSolver& DtmIntegrator::prepared_transient(
+    double dt, const std::vector<double>& power) {
+  if (transient_ == nullptr || transient_dt_ != dt) {
+    transient_ = std::make_unique<TransientSolver>(*net_, dt);
+    transient_dt_ = dt;
+  }
+  if (steady_ == nullptr) steady_ = std::make_unique<SteadyStateSolver>(*net_);
+  steady_->solve_die_power_into(power, state_);
+  transient_->set_state(state_);
+  return *transient_;
 }
 
-}  // namespace
+const std::vector<double>& DtmIntegrator::scaled_power(
+    const std::vector<double>& power, double duty, double leakage_floor) {
+  scaled_.resize(power.size());
+  const double factor = leakage_floor + (1.0 - leakage_floor) * duty;
+  for (std::size_t i = 0; i < power.size(); ++i)
+    scaled_[i] = power[i] * factor;
+  return scaled_;
+}
+
+}  // namespace detail
 
 StopGoController::StopGoController(const RcNetwork& net, double trip_c,
                                    double hysteresis_c, double leakage_floor)
     : net_(&net),
       trip_c_(trip_c),
       hysteresis_c_(hysteresis_c),
-      leakage_floor_(leakage_floor) {
+      leakage_floor_(leakage_floor),
+      integrator_(net) {
   RENOC_CHECK(hysteresis_c > 0);
   RENOC_CHECK(leakage_floor >= 0 && leakage_floor < 1);
   RENOC_CHECK(trip_c > net.ambient());
@@ -34,11 +51,11 @@ StopGoController::StopGoController(const RcNetwork& net, double trip_c,
 DtmRunResult StopGoController::run(const std::vector<double>& power,
                                    double period_s, int periods) const {
   RENOC_CHECK(period_s > 0 && periods >= 4);
-  TransientSolver transient(*net_, period_s / kStepsPerPeriod);
-  transient.set_state_to_steady(power);
+  TransientSolver& transient =
+      integrator_.prepared_transient(period_s / kStepsPerPeriod, power);
 
   const std::vector<double> halted =
-      scaled_power(power, 0.0, leakage_floor_);
+      integrator_.scaled_power(power, 0.0, leakage_floor_);
   DtmRunResult result;
   bool running = true;
   double uptime = 0.0;
@@ -80,7 +97,8 @@ DvfsController::DvfsController(const RcNetwork& net, double setpoint_c,
       setpoint_c_(setpoint_c),
       gain_(gain),
       d_min_(d_min),
-      leakage_floor_(leakage_floor) {
+      leakage_floor_(leakage_floor),
+      integrator_(net) {
   RENOC_CHECK(gain > 0);
   RENOC_CHECK(d_min > 0 && d_min <= 1);
   RENOC_CHECK(leakage_floor >= 0 && leakage_floor < 1);
@@ -90,8 +108,8 @@ DvfsController::DvfsController(const RcNetwork& net, double setpoint_c,
 DtmRunResult DvfsController::run(const std::vector<double>& power,
                                  double period_s, int periods) const {
   RENOC_CHECK(period_s > 0 && periods >= 4);
-  TransientSolver transient(*net_, period_s / kStepsPerPeriod);
-  transient.set_state_to_steady(power);
+  TransientSolver& transient =
+      integrator_.prepared_transient(period_s / kStepsPerPeriod, power);
 
   DtmRunResult result;
   double duty_sum = 0.0;
@@ -105,8 +123,8 @@ DtmRunResult DvfsController::run(const std::vector<double>& power,
     const double duty =
         std::clamp(1.0 - gain_ * (peak - setpoint_c_), d_min_, 1.0);
     if (duty < 1.0) ++result.throttle_events;
-    const std::vector<double> p_now =
-        scaled_power(power, duty, leakage_floor_);
+    const std::vector<double>& p_now =
+        integrator_.scaled_power(power, duty, leakage_floor_);
     for (int s = 0; s < kStepsPerPeriod; ++s) {
       transient.step_die_power(p_now);
       const double t =

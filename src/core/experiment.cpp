@@ -182,6 +182,17 @@ ExperimentDriver::measure_migration(MigrationScheme scheme) {
   return migration_cache_.emplace(scheme, std::move(m)).first->second;
 }
 
+const std::vector<double>& ExperimentDriver::migration_energy_map(
+    MigrationScheme scheme) {
+  RENOC_CHECK_MSG(prepared_, "call prepare() first");
+  RENOC_CHECK_MSG(scheme != MigrationScheme::kNone,
+                  "kNone has no migration energy");
+  const MigrationMeasurement& m = measure_migration(scheme);
+  // The first measured step (baseline -> orbit[1]) lands, after the
+  // segment rotation above, at migration_energy[1 % L].
+  return m.migration_energy[1 % m.migration_energy.size()];
+}
+
 SchemeEvaluation ExperimentDriver::evaluate_scheme(
     MigrationScheme scheme, std::optional<double> period_opt) {
   RENOC_CHECK_MSG(prepared_, "call prepare() first");

@@ -90,6 +90,14 @@ class ExperimentDriver {
   /// The paper-aligned default period (whole blocks closest to 109.3 us).
   double default_period_s() const;
 
+  /// Per-tile joules deposited by one migration of `scheme`, measured on
+  /// the real fabric from the baseline placement (the orbit's first
+  /// migration), calibrated like the workload power. Shares
+  /// evaluate_scheme's per-scheme cache, so a scheme already evaluated
+  /// costs nothing extra. `scheme` must not be kNone. The reference stays
+  /// valid until the next prepare().
+  const std::vector<double>& migration_energy_map(MigrationScheme scheme);
+
   /// Per-tile die temperatures (C) for the baseline placement.
   std::vector<double> baseline_die_temps() const;
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "core/adaptive_policy.hpp"
 #include "floorplan/floorplan.hpp"
@@ -250,6 +251,62 @@ TEST(AdaptivePolicyTest, InputValidation) {
   EXPECT_THROW(AdaptivePolicy(env.net, env.dim,
                               AdaptiveObjective::kPredictivePeak, -1.0),
                CheckError);
+}
+
+TEST(AdaptiveSimulationTest, DeterministicAndMigratesOnImbalance) {
+  // The library closed-loop run (run_adaptive_simulation, extracted from
+  // the adaptive bench): bit-identical across repeated runs, and a hot
+  // corner under the orbit-average objective must trigger migrations that
+  // beat the static steady peak.
+  Env env(4);
+  std::vector<double> power(16, 2.0);
+  power[0] = 7.0;
+
+  std::map<TransformKind, std::vector<double>> energy_maps;
+  for (MigrationScheme s : figure1_schemes())
+    energy_maps[transform_of(s).kind] = std::vector<double>(16, 1e-7);
+
+  AdaptiveSimConfig cfg;
+  cfg.period_s = kPeriod;
+  cfg.periods = 40;
+
+  AdaptivePolicy p1(env.net, env.dim, AdaptiveObjective::kOrbitAverage,
+                    kPeriod);
+  AdaptivePolicy p2(env.net, env.dim, AdaptiveObjective::kOrbitAverage,
+                    kPeriod);
+  const AdaptiveSimResult r1 =
+      run_adaptive_simulation(env.net, env.dim, p1, power, energy_maps, cfg);
+  const AdaptiveSimResult r2 =
+      run_adaptive_simulation(env.net, env.dim, p2, power, energy_maps, cfg);
+
+  EXPECT_EQ(r1.settled_peak_c, r2.settled_peak_c);
+  EXPECT_EQ(r1.choices, r2.choices);
+  EXPECT_EQ(r1.migrations, r2.migrations);
+  EXPECT_GT(r1.migrations, 0);
+
+  SteadyStateSolver steady(env.net);
+  EXPECT_LT(r1.settled_peak_c, steady.peak_die_temperature(power));
+
+  int counted = 0;
+  for (const auto& [kind, count] : r1.choices) counted += count;
+  EXPECT_EQ(counted, cfg.periods);
+}
+
+TEST(AdaptiveSimulationTest, InputValidation) {
+  Env env(4);
+  AdaptivePolicy policy(env.net, env.dim, AdaptiveObjective::kOrbitAverage,
+                        kPeriod);
+  const std::vector<double> power(16, 2.0);
+  AdaptiveSimConfig bad;
+  bad.period_s = 0.0;
+  EXPECT_THROW(
+      run_adaptive_simulation(env.net, env.dim, policy, power, {}, bad),
+      CheckError);
+  bad.period_s = kPeriod;
+  bad.periods = 2;
+  EXPECT_THROW(
+      run_adaptive_simulation(env.net, env.dim, policy, power, {}, bad),
+      CheckError);
 }
 
 }  // namespace

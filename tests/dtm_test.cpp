@@ -107,6 +107,48 @@ TEST(DvfsTest, GlobalThrottlingIsExpensive) {
   EXPECT_GT(1.0 - r.throughput_fraction, 0.05);
 }
 
+bool results_identical(const DtmRunResult& a, const DtmRunResult& b) {
+  return a.peak_temp_c == b.peak_temp_c && a.mean_temp_c == b.mean_temp_c &&
+         a.throughput_fraction == b.throughput_fraction &&
+         a.throttle_events == b.throttle_events;
+}
+
+// Regression for the refactorize-per-call fix: the controllers now cache
+// the steady factorization for the controller lifetime and the transient
+// factorization per distinct period (detail::DtmIntegrator). Repeated and
+// mixed-period run() calls through the warm caches must stay bit-identical
+// to a fresh controller's — the cache may only skip work, never change
+// arithmetic.
+TEST(DtmCacheTest, RepeatedAndMixedPeriodRunsBitIdenticalToFresh) {
+  Env env;
+  const auto power = hot_map();
+  const double trip = env.static_peak(power) - 4.0;
+
+  const StopGoController warm_sg(env.net, trip, 1.0);
+  const DtmRunResult sg_first = warm_sg.run(power, kPeriod, 300);
+  const DtmRunResult sg_other = warm_sg.run(power, 2 * kPeriod, 300);
+  const DtmRunResult sg_back = warm_sg.run(power, kPeriod, 300);
+
+  EXPECT_TRUE(results_identical(sg_first, sg_back));
+  EXPECT_TRUE(results_identical(
+      sg_first, StopGoController(env.net, trip, 1.0).run(power, kPeriod, 300)));
+  EXPECT_TRUE(results_identical(
+      sg_other,
+      StopGoController(env.net, trip, 1.0).run(power, 2 * kPeriod, 300)));
+
+  const DvfsController warm_dv(env.net, trip, 0.25);
+  const DtmRunResult dv_first = warm_dv.run(power, kPeriod, 300);
+  const DtmRunResult dv_other = warm_dv.run(power, 2 * kPeriod, 300);
+  const DtmRunResult dv_back = warm_dv.run(power, kPeriod, 300);
+
+  EXPECT_TRUE(results_identical(dv_first, dv_back));
+  EXPECT_TRUE(results_identical(
+      dv_first, DvfsController(env.net, trip, 0.25).run(power, kPeriod, 300)));
+  EXPECT_TRUE(results_identical(
+      dv_other,
+      DvfsController(env.net, trip, 0.25).run(power, 2 * kPeriod, 300)));
+}
+
 TEST(DtmValidationTest, BadParamsRejected) {
   Env env;
   EXPECT_THROW(StopGoController(env.net, 30.0, 1.0), CheckError);  // < amb

@@ -1,0 +1,133 @@
+// Tests for the shared JSON layer (util/json): the streaming writer the
+// bench records are emitted with, the parser, and the golden-diff rules
+// CI relies on (integer fields exact, reals within tolerance, *_ms timing
+// keys skipped).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace renoc {
+namespace {
+
+std::string write_sample() {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").string("sample");
+  w.key("smoke").boolean(true);
+  w.key("count").integer(42);
+  w.key("big").uinteger(18446744073709551615ull);
+  w.key("peak_c").real(85.4375, 4);
+  w.key("rows").begin_array();
+  w.begin_object();
+  w.key("name").string("a\"b\\c\n");
+  w.key("ms").real(1.25, 3);
+  w.end_object();
+  w.integer(-7);
+  w.end_array();
+  w.key("empty").begin_array().end_array();
+  w.end_object();
+  return os.str();
+}
+
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  const std::string text = write_sample();
+  const JsonValue root = parse_json(text);
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  ASSERT_NE(root.find("bench"), nullptr);
+  EXPECT_EQ(root.find("bench")->str_v, "sample");
+  EXPECT_TRUE(root.find("smoke")->bool_v);
+  EXPECT_EQ(root.find("count")->num_v, 42.0);
+  EXPECT_TRUE(root.find("count")->num_is_integer);
+  EXPECT_TRUE(root.find("big")->num_is_integer);
+  EXPECT_NEAR(root.find("peak_c")->num_v, 85.4375, 1e-12);
+  EXPECT_FALSE(root.find("peak_c")->num_is_integer);
+  const JsonValue& rows = *root.find("rows");
+  ASSERT_EQ(rows.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(rows.items.size(), 2u);
+  EXPECT_EQ(rows.items[0].find("name")->str_v, "a\"b\\c\n");
+  EXPECT_EQ(rows.items[1].num_v, -7.0);
+  EXPECT_EQ(root.find("empty")->items.size(), 0u);
+}
+
+TEST(JsonWriterTest, RejectsMalformedSequences) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  EXPECT_THROW(w.integer(1), CheckError);       // object member needs key()
+  w.key("k");
+  EXPECT_THROW(w.key("k2"), CheckError);        // key() twice
+  w.integer(1);
+  EXPECT_THROW(w.end_array(), CheckError);      // wrong closer
+  w.end_object();
+  EXPECT_THROW(w.integer(2), CheckError);       // root already closed
+}
+
+TEST(JsonParserTest, RejectsGarbage) {
+  EXPECT_THROW(parse_json("{"), CheckError);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), CheckError);
+  EXPECT_THROW(parse_json("[1 2]"), CheckError);
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), CheckError);
+  EXPECT_THROW(parse_json("\"unterminated"), CheckError);
+}
+
+TEST(JsonDiffTest, IdenticalDocumentsMatch) {
+  const std::string text = write_sample();
+  EXPECT_TRUE(
+      diff_json(parse_json(text), parse_json(text), JsonDiffOptions{})
+          .empty());
+}
+
+TEST(JsonDiffTest, IntegerFieldsCompareExactly) {
+  const JsonValue g = parse_json("{\"count\": 42}");
+  const JsonValue c = parse_json("{\"count\": 43}");
+  EXPECT_FALSE(diff_json(g, c, JsonDiffOptions{}).empty());
+}
+
+TEST(JsonDiffTest, RealsWithinToleranceMatch) {
+  const JsonValue g = parse_json("{\"peak_c\": 85.440000}");
+  // rel tol 5e-4 of 85.44 is ~0.043.
+  EXPECT_TRUE(diff_json(g, parse_json("{\"peak_c\": 85.450000}"),
+                        JsonDiffOptions{})
+                  .empty());
+  EXPECT_FALSE(diff_json(g, parse_json("{\"peak_c\": 85.600000}"),
+                         JsonDiffOptions{})
+                   .empty());
+  // Small magnitudes fall back to the absolute tolerance: 1e-6.
+  const JsonValue small = parse_json("{\"penalty\": 0.016000}");
+  EXPECT_FALSE(diff_json(small, parse_json("{\"penalty\": 0.016100}"),
+                         JsonDiffOptions{})
+                   .empty());
+}
+
+TEST(JsonDiffTest, TimingKeysAreSkipped) {
+  const JsonValue g =
+      parse_json("{\"solve_ms\": 1.0, \"ms\": 2.0, \"peak_c\": 70.0}");
+  const JsonValue c =
+      parse_json("{\"solve_ms\": 99.0, \"ms\": 0.5, \"peak_c\": 70.0}");
+  EXPECT_TRUE(diff_json(g, c, JsonDiffOptions{}).empty());
+  // But a key merely containing "ms" is not timing.
+  EXPECT_TRUE(json_key_is_timing("ms"));
+  EXPECT_TRUE(json_key_is_timing("batch_ms"));
+  EXPECT_FALSE(json_key_is_timing("rooms"));
+  EXPECT_FALSE(json_key_is_timing("ms_total"));
+}
+
+TEST(JsonDiffTest, MissingAndExtraMembersReported) {
+  const JsonValue g = parse_json("{\"a\": 1, \"b\": 2}");
+  const JsonValue c = parse_json("{\"a\": 1, \"c\": 3}");
+  const auto diffs = diff_json(g, c, JsonDiffOptions{});
+  EXPECT_EQ(diffs.size(), 2u);  // b missing, c extra
+}
+
+TEST(JsonDiffTest, ArrayLengthMismatchReported) {
+  const JsonValue g = parse_json("[1, 2, 3]");
+  const JsonValue c = parse_json("[1, 2]");
+  EXPECT_FALSE(diff_json(g, c, JsonDiffOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace renoc
