@@ -38,26 +38,9 @@
 #include "noc/fabric.hpp"
 #include "util/table.hpp"
 
-// ---------------------------------------------------------------------------
-// Global allocation counter: proves the flat decode path is allocation-free
-// in steady state. Counting covers scalar and array new (the forms the
-// decode path could hit); over-aligned allocations fall through to the
-// default operator and simply go uncounted.
-// ---------------------------------------------------------------------------
-namespace {
-std::atomic<long> g_live_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Steady-state allocations are counted by util/alloc_guard (referencing it
+// links the interposed operator new/delete into this binary).
+#include "util/alloc_guard.hpp"
 
 namespace renoc {
 namespace {
@@ -93,7 +76,7 @@ struct GoldenRow {
   double ref_ms = 0.0;
   double flat_ms = 0.0;
   double speedup = 0.0;
-  long steady_allocs = 0;
+  long long steady_allocs = 0;
   bool bit_exact = true;
 };
 
@@ -114,9 +97,9 @@ GoldenRow run_golden_row(int n, int iterations, double budget_ms) {
   row.speedup = row.ref_ms / row.flat_ms;
 
   // Steady-state allocation count of the flat path (after warm-up above).
-  const long before = g_live_allocs.load(std::memory_order_relaxed);
+  const AllocGuard guard;
   for (int i = 0; i < 32; ++i) flat.decode_into(f.llrs, result);
-  row.steady_allocs = g_live_allocs.load(std::memory_order_relaxed) - before;
+  row.steady_allocs = guard.count();
 
   // Bit-exactness sweep: fresh noisy blocks, both early-exit modes.
   for (std::uint64_t seed = 11; seed < 16 && row.bit_exact; ++seed) {
@@ -287,7 +270,8 @@ int run(bool smoke, const std::string& json_path) {
                           Table::num(r.speedup, 2),
                           std::to_string(r.steady_allocs),
                           r.bit_exact ? "yes" : "NO"});
-    ok = ok && r.bit_exact && r.steady_allocs == 0;
+    ok = ok && r.bit_exact &&
+         (r.steady_allocs == 0 || !alloc_guard::instrumented());
   }
   golden_table.print(std::cout);
 

@@ -39,26 +39,9 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-// ---------------------------------------------------------------------------
-// Global allocation counter: proves the flat fabric's traffic loop is
-// allocation-free in steady state. Counting covers scalar and array new
-// (the forms the step path could hit); over-aligned allocations fall
-// through to the default operator and simply go uncounted.
-// ---------------------------------------------------------------------------
-namespace {
-std::atomic<long> g_live_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Steady-state allocations are counted by util/alloc_guard (referencing it
+// links the interposed operator new/delete into this binary).
+#include "util/alloc_guard.hpp"
 
 namespace renoc {
 namespace {
@@ -292,7 +275,7 @@ bool points_equal(const std::vector<SweepPoint>& a,
 
 void write_json(const std::string& path, bool smoke,
                 const std::vector<CompareRow>& compares,
-                const std::vector<RateRow>& rates, long steady_allocs,
+                const std::vector<RateRow>& rates, long long steady_allocs,
                 const SweepGuard& sweep) {
   std::ofstream out(path);
   if (!out) {
@@ -443,7 +426,7 @@ int run(bool smoke, const std::string& json_path) {
   // reaches every high-water mark and the measured window must perform
   // ZERO heap allocations. A stochastic load would merely make this
   // probabilistic — extreme-value queue tails keep finding new maxima.
-  long steady_allocs = 0;
+  long long steady_allocs = 0;
   {
     Fabric fabric(mesh(smoke ? 4 : 8));
     const int n = fabric.node_count();
@@ -468,15 +451,15 @@ int run(bool smoke, const std::string& json_path) {
       }
     };
     pump(smoke ? 240 : 600);  // warm-up: pool, rings, staging at high water
-    const long before = g_live_allocs.load(std::memory_order_relaxed);
+    const AllocGuard guard;
     pump(smoke ? 240 : 600);
-    steady_allocs =
-        g_live_allocs.load(std::memory_order_relaxed) - before;
+    steady_allocs = guard.count();
   }
   std::printf(
-      "steady-state allocations over the measured step window: %ld\n",
-      steady_allocs);
-  ok = ok && steady_allocs == 0;
+      "steady-state allocations over the measured step window: %lld%s\n",
+      steady_allocs,
+      alloc_guard::instrumented() ? "" : " (uninstrumented: not checked)");
+  ok = ok && (steady_allocs == 0 || !alloc_guard::instrumented());
 
   // --- Sweep-harness thread determinism ----------------------------------
   SweepConfig scfg;

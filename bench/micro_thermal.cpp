@@ -32,6 +32,7 @@
 #include "thermal/hotspot_params.hpp"
 #include "thermal/rc_network.hpp"
 #include "thermal/solver.hpp"
+#include "util/alloc_guard.hpp"
 #include "util/json.hpp"
 #include "util/sparse.hpp"
 #include "util/table.hpp"
@@ -66,6 +67,7 @@ struct RowResult {
   double sparse_step_ms = 0.0;
   bool agree = true;
   double speedup = 0.0;  // dense / sparse, factor + solve
+  long long steady_allocs = 0;  // warmed solve_die_power_into + step
 };
 
 RowResult run_row(Table& table, int refine, double budget_ms) {
@@ -104,6 +106,20 @@ RowResult run_row(Table& table, int refine, double budget_ms) {
     if (std::fabs(rise_d[i] - rise_s[i]) > 1e-8) r.agree = false;
   r.speedup = (r.dense_factor_ms + r.dense_solve_ms) /
               (r.sparse_factor_ms + r.sparse_solve_ms);
+
+  // Steady-state allocation guard over the warmed allocation-free solve
+  // paths (the value-returning solve_die_power above legitimately
+  // allocates its result vector; the engines run on the _into/step forms).
+  {
+    std::vector<double> rise;
+    sparse.solve_die_power_into(power, rise);  // warm-up sizes the buffer
+    const AllocGuard guard;
+    for (int i = 0; i < 8; ++i) {
+      sparse.solve_die_power_into(power, rise);
+      sparse_tr.step(full);
+    }
+    r.steady_allocs = guard.count();
+  }
 
   const SparseLdlt ldlt(net.conductance_sparse());
   r.nnz_g = net.conductance_sparse().nnz();
@@ -146,6 +162,7 @@ void write_json(const std::string& path, bool smoke,
     json.key("dense_step_ms").real(r.dense_step_ms);
     json.key("sparse_step_ms").real(r.sparse_step_ms);
     json.key("speedup").real(r.speedup, 3);
+    json.key("steady_state_allocs").integer(r.steady_allocs);
     json.key("agree_1e8").boolean(r.agree);
     json.end_object();
   }
@@ -170,15 +187,23 @@ int run(bool smoke, const std::string& json_path) {
 
   std::vector<RowResult> rows;
   bool all_agree = true;
+  bool alloc_free = true;
   for (int refine : refines) {
     rows.push_back(run_row(table, refine, budget_ms));
     all_agree = all_agree && rows.back().agree;
+    alloc_free = alloc_free && (rows.back().steady_allocs == 0 ||
+                                !alloc_guard::instrumented());
   }
   table.print(std::cout);
   write_json(json_path, smoke, rows);
 
   if (!all_agree) {
     std::cerr << "FAIL: dense and sparse solvers disagree beyond 1e-8\n";
+    return 1;
+  }
+  if (!alloc_free) {
+    std::cerr << "FAIL: warmed sparse solve_die_power_into/step allocated "
+                 "in steady state\n";
     return 1;
   }
   return 0;

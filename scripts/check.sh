@@ -10,21 +10,30 @@
 # record in --smoke mode and diffs it against the pinned golden under
 # goldens/ with renoc_golden_diff (integer fields exact, temperatures
 # tolerance-checked, *_ms timing skipped).
-# Usage: scripts/check.sh [--skip-bench-smoke] [extra cmake args...]
+# The Release pass also runs renoc_lint over the tree (repo invariants:
+# hot-region allocations, raw randomness, ring-buffer modulo, engine hash
+# maps, untagged deferred-work markers — see tools/lint_core.hpp).
+# Usage: scripts/check.sh [--skip-bench-smoke] [--sanitize=<kind>]
+#                         [extra cmake args...]
 # (flags may appear in any argument position)
+# --sanitize=<kind> replaces the Debug+Release matrix with one
+# RelWithDebInfo pass instrumented via RENOC_SANITIZE=<kind> (address,
+# undefined, thread, or a '+'-joined combo) — the same configuration the
+# CI sanitizer jobs run.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 bench_smoke=1
+sanitize=""
 cmake_args=()
 for arg in "$@"; do
-  if [[ "${arg}" == "--skip-bench-smoke" ]]; then
-    bench_smoke=0
-  else
-    cmake_args+=("${arg}")
-  fi
+  case "${arg}" in
+    --skip-bench-smoke) bench_smoke=0 ;;
+    --sanitize=*) sanitize="${arg#--sanitize=}" ;;
+    *) cmake_args+=("${arg}") ;;
+  esac
 done
 
 # name:binary:golden triplets for the paper-results pipeline.
@@ -39,6 +48,31 @@ paper_benches=(
   "noc:bench_noc_characterization:PAPER_noc.json"
 )
 
+if [[ -n "${sanitize}" ]]; then
+  build_dir="${repo_root}/build-check-san-${sanitize//+/-}"
+  echo "== sanitize(${sanitize}): configure =="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRENOC_SANITIZE="${sanitize}" \
+    -DRENOC_WERROR=ON \
+    -DRENOC_BUILD_BENCH=ON \
+    -DRENOC_BUILD_EXAMPLES=ON \
+    ${cmake_args[@]+"${cmake_args[@]}"}
+  echo "== sanitize(${sanitize}): build =="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "== sanitize(${sanitize}): ctest =="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  if [[ "${bench_smoke}" == 1 ]]; then
+    for bench in micro_thermal micro_ldpc micro_noc micro_runtime; do
+      echo "== sanitize(${sanitize}): bench smoke (${bench}) =="
+      "${build_dir}/bench/bench_${bench}" --smoke \
+        --json "${build_dir}/BENCH_${bench#micro_}.json"
+    done
+  fi
+  echo "All sanitized checks passed (${sanitize})."
+  exit 0
+fi
+
 for config in Debug Release; do
   build_dir="${repo_root}/build-check-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
   echo "== ${config}: configure =="
@@ -52,6 +86,11 @@ for config in Debug Release; do
   cmake --build "${build_dir}" -j "${jobs}"
   echo "== ${config}: ctest =="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  if [[ "${config}" == "Release" ]]; then
+    echo "== ${config}: renoc_lint =="
+    "${build_dir}/tools/renoc_lint" --root "${repo_root}" \
+      --report "${build_dir}/lint-report.txt"
+  fi
   if [[ "${bench_smoke}" == 1 ]]; then
     echo "== ${config}: bench smoke (micro_thermal) =="
     "${build_dir}/bench/bench_micro_thermal" --smoke \

@@ -203,6 +203,7 @@ ThermalRunResult MigrationThermalRuntime::run(
   double mean_accum = 0.0;
   std::uint64_t mean_samples = 0;
 
+  // renoc-hot-begin (orbit streaming loop: L segments x steps solves/orbit)
   for (int orbit_idx = 0; orbit_idx < options_.max_orbits; ++orbit_idx) {
     double orbit_peak = -1e300;
     double peak_node_min = 1e300;  // min over time of the instantaneous peak
@@ -243,6 +244,7 @@ ThermalRunResult MigrationThermalRuntime::run(
     }
     prev_orbit_peak = orbit_peak;
   }
+  // renoc-hot-end
   result.mean_temp_c =
       mean_samples ? mean_accum / static_cast<double>(mean_samples) : 0.0;
   return result;

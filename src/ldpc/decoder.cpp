@@ -131,10 +131,12 @@ void MinSumDecoder::decode_into(const std::vector<std::int16_t>& channel_llrs,
   // slot is written by vn_phase (each edge belongs to exactly one
   // variable) before cn_phase reads any.
   std::fill(r_.begin(), r_.end(), static_cast<std::int16_t>(0));
+  // renoc-lint-allow(hot-alloc): sizes once; reused results keep capacity
   result.hard_bits.resize(static_cast<std::size_t>(code.n()));
 
   const std::int16_t* llr = channel_llrs.data();
 
+  // renoc-hot-begin (flooding iteration loop: the BER-sweep inner kernel)
   int iter = 0;
   for (; iter < iterations_; ++iter) {
     // Variable-node phase (uses r of the previous iteration), then
@@ -156,6 +158,7 @@ void MinSumDecoder::decode_into(const std::vector<std::int16_t>& channel_llrs,
   hard_decide(code, llr, r_.data(), result.hard_bits.data());
   result.syndrome_ok = code.is_codeword(result.hard_bits);
   result.iterations_run = iter;
+  // renoc-hot-end
 }
 
 }  // namespace renoc

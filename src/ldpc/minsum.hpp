@@ -66,6 +66,7 @@ struct EdgeSlots {
   }
 };
 
+// renoc-hot-begin (per-node message kernels: the BER-sweep innermost code)
 template <typename Slots>
 void var_update_impl(std::int16_t channel_llr, const std::int16_t* r_in,
                      std::int16_t* q_out, int degree, Slots slots) {
@@ -129,6 +130,7 @@ void check_update_impl(const std::int16_t* q_in, std::int16_t* r_out,
     r_out[slots(i)] = static_cast<std::int16_t>((mag ^ neg) - neg);
   }
 }
+// renoc-hot-end
 
 }  // namespace detail
 
@@ -193,6 +195,7 @@ inline void check_update_edges(const std::int16_t* q, std::int16_t* r,
 /// slot-index type (int, or uint16_t via LdpcCode::check_var_slots16() to
 /// halve the index-stream bytes). Bit-identical to check_update_edges for
 /// degree == DEG >= 2.
+// renoc-hot-begin (fixed-degree check kernel: dominant decode cost)
 template <int DEG, typename SlotT>
 inline void check_update_edges_fixed(const std::int16_t* q, std::int16_t* r,
                                      const SlotT* edge_ids) {
@@ -236,6 +239,7 @@ inline void check_update_edges_fixed(const std::int16_t* q, std::int16_t* r,
     r[slots[i]] = static_cast<std::int16_t>((mag ^ neg) - neg);
   }
 }
+// renoc-hot-end
 
 // --- std::vector wrappers (pre-flattening API, kept for tests/oracles) ----
 

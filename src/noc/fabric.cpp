@@ -30,8 +30,11 @@ void NocConfig::validate() const {
 
 void Fabric::MessageRing::grow() {
   std::vector<Message> bigger(buf.empty() ? 4 : buf.size() * 2);
-  for (std::size_t i = 0; i < count; ++i)
-    bigger[i] = std::move(buf[(head + i) % buf.size()]);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t src = head + i;
+    if (src >= buf.size()) src -= buf.size();
+    bigger[i] = std::move(buf[src]);
+  }
   buf = std::move(bigger);
   head = 0;
 }
@@ -83,6 +86,7 @@ Fabric::Fabric(const NocConfig& config)
 }
 
 void Fabric::push_flit(int node, int port, const Flit& flit) {
+  // renoc-hot-begin (once per link traversal, every cycle)
   const std::size_t f = port_index(node, port);
   RENOC_CHECK_MSG(fifo_size_[f] < depth_, "FIFO overflow at node "
                                               << node << " port " << port
@@ -96,14 +100,17 @@ void Fabric::push_flit(int node, int port, const Flit& flit) {
   if (++fifo_size_[f] == 1) refresh_head(f);
   ++node_buffered_[static_cast<std::size_t>(node)];
   ++buffered_flits_;
+  // renoc-hot-end
 }
 
 /// Advances FIFO f past its front flit (caller has already consumed it).
 void Fabric::pop_front(int node, std::size_t f) {
+  // renoc-hot-begin (once per forwarded flit, every cycle)
   if (++fifo_head_[f] == depth_) fifo_head_[f] = 0;
   if (--fifo_size_[f] > 0) refresh_head(f);
   --node_buffered_[static_cast<std::size_t>(node)];
   --buffered_flits_;
+  // renoc-hot-end
 }
 
 void Fabric::send(const Message& msg) {
@@ -185,6 +192,7 @@ void Fabric::stage_next_message(int node) {
 }
 
 void Fabric::eject_flit(int node, const Flit& flit) {
+  // renoc-hot-begin (once per flit reaching its destination)
   ++stats_.tile(node).ejected_flits;
   const std::size_t nodes = static_cast<std::size_t>(node_count());
   ReassemblySlot& slot =
@@ -208,9 +216,11 @@ void Fabric::eject_flit(int node, const Flit& flit) {
       payload_pool_.pop_back();
     }
     slot.msg.payload.clear();
+    // renoc-lint-allow(hot-alloc): head-flit reserve reusing pooled capacity
     slot.msg.payload.reserve(flit.pkt_flits);
     ++partial_count_;
   }
+  // renoc-lint-allow(hot-alloc): within the capacity reserved at the head
   slot.msg.payload.push_back(flit.payload);
   ++slot.flits;
   if (flit.is_tail()) {
@@ -222,6 +232,7 @@ void Fabric::eject_flit(int node, const Flit& flit) {
     slot.flits = 0;
     --partial_count_;
   }
+  // renoc-hot-end
 }
 
 void Fabric::step() {
@@ -236,6 +247,7 @@ void Fabric::step() {
   // Same decision procedure as Router::arbitrate in the reference engine,
   // inlined over the flat arrays: wormhole continuation first, then
   // round-robin output allocation among buffered head flits.
+  // renoc-hot-begin (phases 1+2 run every cycle over every router)
   planned_.clear();
   for (int n = 0; n < n_nodes; ++n) {
     // A router with no buffered flit can plan nothing: continuations stall
@@ -273,6 +285,7 @@ void Fabric::step() {
         const std::size_t f = base + static_cast<std::size_t>(owner);
         if (fifo_size_[f] > 0 && head_packet_[f] == owner_packet_[out] &&
             credit_ok)
+          // renoc-lint-allow(hot-alloc): worst case reserved in the ctor
           planned_.push_back(
               PlannedMove{n, owner, static_cast<Direction>(o)});
         continue;
@@ -284,6 +297,7 @@ void Fabric::step() {
         int in = rr + k;
         if (in >= kDirectionCount) in -= kDirectionCount;
         if (want[in] != o) continue;
+        // renoc-lint-allow(hot-alloc): worst case reserved in the ctor
         planned_.push_back(PlannedMove{n, in, static_cast<Direction>(o)});
         owner_input_[out] = static_cast<std::int8_t>(in);
         owner_packet_[out] = head_packet_[base + static_cast<std::size_t>(in)];
@@ -334,6 +348,7 @@ void Fabric::step() {
       owner_packet_[out] = 0;
     }
   }
+  // renoc-hot-end
 
   // --- Phase 3: injection ------------------------------------------------
   inject_phase();

@@ -153,12 +153,15 @@ class Fabric {
     std::size_t size() const { return count; }
     void push(Message&& m) {
       if (count == buf.size()) grow();
-      buf[(head + count) % buf.size()] = std::move(m);
+      std::size_t slot = head + count;
+      if (slot >= buf.size()) slot -= buf.size();
+      buf[slot] = std::move(m);
       ++count;
     }
     Message pop() {
       Message m = std::move(buf[head]);
-      head = (head + 1) % buf.size();
+      ++head;
+      if (head == buf.size()) head = 0;
       --count;
       return m;
     }

@@ -180,6 +180,25 @@ class Parser {
   }
 
  private:
+  // Containers nest by recursion, so un-bounded depth turns a hostile (or
+  // merely truncated-and-repaired) document into a stack overflow — which
+  // no CheckError can catch. 256 is far beyond any record the repo writes
+  // (benches nest 4-5 deep) while keeping worst-case stack use trivial.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth_(depth) {
+      RENOC_CHECK_MSG(++depth_ <= kMaxDepth,
+                      "json parse: nesting deeper than " << kMaxDepth);
+    }
+    ~DepthGuard() { --depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    int& depth_;
+  };
+
   void skip_ws() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' ||
@@ -238,6 +257,7 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    const DepthGuard guard(depth_);
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
@@ -263,6 +283,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(depth_);
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
@@ -356,11 +377,17 @@ class Parser {
     v.num_v = std::strtod(token.c_str(), &end);
     RENOC_CHECK_MSG(end != nullptr && *end == '\0',
                     "json parse: bad number token '" + token + "'");
+    // strtod turns out-of-range literals (1e999) into ±inf without
+    // failing; every consumer assumes finite numbers, so reject here.
+    RENOC_CHECK_MSG(std::isfinite(v.num_v),
+                    "json parse: number token '" + token +
+                        "' overflows double");
     return v;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -451,6 +451,7 @@ void SparseLdlt::solve_multi(std::vector<double>& x, int nrhs) const {
 }
 
 void SparseLdlt::solve_permuted_in_place(double* y) const {
+  // renoc-hot-begin (one triangular solve per transient step, every orbit)
   const int* lp = lp_.data();
   const int* li = li_.data();
   const double* lx = lx_.data();
@@ -475,6 +476,7 @@ void SparseLdlt::solve_permuted_in_place(double* y) const {
     for (; p < p1; ++p) a0 += lx[p] * y[li[p]];
     y[k] = y[k] * invd[k] - ((a0 + a1) + (a2 + a3));
   }
+  // renoc-hot-end
 }
 
 }  // namespace renoc

@@ -74,6 +74,58 @@ TEST(JsonParserTest, RejectsGarbage) {
   EXPECT_THROW(parse_json("\"unterminated"), CheckError);
 }
 
+// Robustness: hostile or damaged input must always surface as a CheckError
+// — never UB. These are the shapes a truncated bench artifact, a
+// hand-edited golden, or a fuzzer reaches first.
+TEST(JsonParserTest, TruncatedDocumentsThrow) {
+  EXPECT_THROW(parse_json(""), CheckError);
+  EXPECT_THROW(parse_json("   "), CheckError);
+  EXPECT_THROW(parse_json("{\"a\":"), CheckError);
+  EXPECT_THROW(parse_json("[1, 2"), CheckError);
+  EXPECT_THROW(parse_json("{\"a\": 1"), CheckError);
+  EXPECT_THROW(parse_json("\"esc\\"), CheckError);
+  EXPECT_THROW(parse_json("{\"a\": tru"), CheckError);
+  EXPECT_THROW(parse_json("12e"), CheckError);
+  EXPECT_THROW(parse_json("-"), CheckError);
+}
+
+TEST(JsonParserTest, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  // Well beyond the parser's depth cap; without the cap this would
+  // recurse ~200k frames and crash instead of throwing.
+  const std::size_t depth = 200000;
+  std::string deep_arrays(depth, '[');
+  EXPECT_THROW(parse_json(deep_arrays), CheckError);
+
+  std::string deep_objects;
+  for (std::size_t i = 0; i < depth; ++i) deep_objects += "{\"k\":";
+  EXPECT_THROW(parse_json(deep_objects), CheckError);
+
+  // A balanced document just over the cap also throws (the cap is about
+  // nesting, not truncation)...
+  std::string balanced = std::string(300, '[') + std::string(300, ']');
+  EXPECT_THROW(parse_json(balanced), CheckError);
+  // ...while realistic nesting stays comfortably legal.
+  std::string legal = std::string(64, '[') + "1" + std::string(64, ']');
+  EXPECT_EQ(parse_json(legal).items.size(), 1u);
+}
+
+TEST(JsonParserTest, OverflowingNumberLiteralsThrow) {
+  EXPECT_THROW(parse_json("1e999"), CheckError);
+  EXPECT_THROW(parse_json("-1e999"), CheckError);
+  EXPECT_THROW(parse_json("{\"v\": [1e400]}"), CheckError);
+  // Near-but-under the double range still parses.
+  EXPECT_DOUBLE_EQ(parse_json("1e308").num_v, 1e308);
+  // Underflow to zero is representable, not an error.
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").num_v, 0.0);
+}
+
+TEST(JsonParserTest, BadEscapesAndBadUnicodeThrow) {
+  EXPECT_THROW(parse_json("\"\\q\""), CheckError);
+  EXPECT_THROW(parse_json("\"\\u12\""), CheckError);
+  EXPECT_THROW(parse_json("\"\\uZZZZ\""), CheckError);
+  EXPECT_THROW(parse_json("\"\\u00e9\""), CheckError);  // non-ASCII
+}
+
 TEST(JsonDiffTest, IdenticalDocumentsMatch) {
   const std::string text = write_sample();
   EXPECT_TRUE(

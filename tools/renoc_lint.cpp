@@ -1,0 +1,79 @@
+// Repo-invariant linter CLI (rules and rationale in lint_core.hpp).
+//
+// Walks the given subdirectories (default: the shipped tree) and reports
+// every finding as "file:line: [rule] message", optionally mirroring the
+// report to a file for CI artifacts. scripts/check.sh and the lint CI job
+// run it from the repository root.
+//
+// Usage: renoc_lint [--root <dir>] [--report <path>] [subdir]...
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root <dir>] [--report <path>] [subdir]...\n"
+               "  default subdirs: src bench examples tests tools\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string report_path;
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      subdirs.emplace_back(argv[i]);
+    }
+  }
+  if (subdirs.empty())
+    subdirs = {"src", "bench", "examples", "tests", "tools"};
+
+  std::vector<renoc::lint::Finding> findings;
+  try {
+    findings = renoc::lint::lint_tree(root, subdirs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "renoc_lint: %s\n", e.what());
+    return 2;
+  }
+
+  std::string report;
+  for (const renoc::lint::Finding& f : findings) {
+    report += renoc::lint::format_finding(f);
+    report += '\n';
+  }
+  if (findings.empty()) {
+    report += "renoc_lint: clean\n";
+  } else {
+    report += "renoc_lint: " + std::to_string(findings.size()) +
+              " finding(s)\n";
+  }
+  std::fputs(report.c_str(), findings.empty() ? stdout : stderr);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "renoc_lint: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+  return findings.empty() ? 0 : 1;
+}
