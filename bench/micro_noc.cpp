@@ -31,6 +31,7 @@
 
 #include "bench_timing.hpp"
 #include "noc/fabric.hpp"
+#include "noc/fault_model.hpp"
 #include "util/json.hpp"
 #include "noc/reference_fabric.hpp"
 #include "noc/sweep_harness.hpp"
@@ -267,16 +268,37 @@ bool points_equal(const std::vector<SweepPoint>& a,
         x.packets_delivered != y.packets_delivered ||
         x.flits_delivered != y.flits_delivered || x.cycles != y.cycles ||
         x.avg_latency_cycles != y.avg_latency_cycles ||
-        x.max_latency_cycles != y.max_latency_cycles)
+        x.max_latency_cycles != y.max_latency_cycles ||
+        x.packets_retried != y.packets_retried ||
+        x.packets_dropped != y.packets_dropped ||
+        x.packets_unreachable != y.packets_unreachable ||
+        x.duplicates_suppressed != y.duplicates_suppressed ||
+        x.route_epochs != y.route_epochs)
       return false;
   }
   return true;
 }
 
+/// Degraded-fabric CI guards: packet conservation under faults, zero
+/// steady-state allocations with an active fault plan, and thread-count
+/// invariance of the fault-axis sweep.
+struct DegradedGuard {
+  bool conservation = true;
+  long long steady_allocs = 0;
+  int fault_scenarios = 0;
+  bool fault_sweep_deterministic = true;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t unreachable = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t duplicates = 0;
+  int route_epochs = 0;
+};
+
 void write_json(const std::string& path, bool smoke,
                 const std::vector<CompareRow>& compares,
                 const std::vector<RateRow>& rates, long long steady_allocs,
-                const SweepGuard& sweep) {
+                const SweepGuard& sweep, const DegradedGuard& degraded) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -322,6 +344,19 @@ void write_json(const std::string& path, bool smoke,
     json.end_object();
   }
   json.end_array();
+  json.end_object();
+  json.key("degraded_fabric").begin_object();
+  json.key("conservation").boolean(degraded.conservation);
+  json.key("steady_state_allocs").integer(degraded.steady_allocs);
+  json.key("fault_scenarios").integer(degraded.fault_scenarios);
+  json.key("fault_sweep_deterministic")
+      .boolean(degraded.fault_sweep_deterministic);
+  json.key("packets_delivered").uinteger(degraded.delivered);
+  json.key("packets_dropped").uinteger(degraded.dropped);
+  json.key("packets_unreachable").uinteger(degraded.unreachable);
+  json.key("packets_retried").uinteger(degraded.retried);
+  json.key("duplicates_suppressed").uinteger(degraded.duplicates);
+  json.key("route_epochs").integer(degraded.route_epochs);
   json.end_object();
   json.end_object();
   std::printf("\nwrote %s\n", path.c_str());
@@ -495,12 +530,130 @@ int run(bool smoke, const std::string& json_path) {
   sweep_table.print(std::cout);
   ok = ok && sweep.deterministic;
 
-  write_json(json_path, smoke, compares, rate_rows, steady_allocs, sweep);
+  // --- Degraded-fabric guards --------------------------------------------
+  DegradedGuard degraded;
+
+  // (a) Packet conservation under every fault kind: every message send()
+  // accepts resolves as exactly one of delivered / dropped / unreachable
+  // once the fabric drains. A packet lost without a drop record breaks the
+  // count and fails the bench.
+  {
+    int plan_index = 0;
+    for (FaultKind kind :
+         {FaultKind::kLinkDead, FaultKind::kRouterDead, FaultKind::kLinkFlaky}) {
+      Fabric fabric(mesh(smoke ? 4 : 6));
+      DeliveryGuardConfig g;
+      g.timeout_cycles = 256;
+      fabric.configure_delivery_guard(g);
+      FaultSpec spec;
+      spec.kind = kind;
+      spec.count = kind == FaultKind::kRouterDead ? 2 : 3;
+      spec.onset_min = 100;
+      spec.onset_max = 600;
+      fabric.install_fault_plan(
+          make_fault_plan(fabric.config().dim, spec,
+                          fault_scenario_rng(7, plan_index++)));
+      const DriveRecord rec =
+          drive_uniform(fabric, smoke ? 900 : 1500, 0.05, 4, 1234);
+      const NetworkStats& st = fabric.stats();
+      degraded.conservation =
+          degraded.conservation &&
+          st.packets_delivered() + st.packets_dropped() +
+                  st.packets_unreachable() ==
+              rec.sent;
+      degraded.delivered += st.packets_delivered();
+      degraded.dropped += st.packets_dropped();
+      degraded.unreachable += st.packets_unreachable();
+      degraded.retried += st.packets_retried();
+      degraded.duplicates += st.duplicates_suppressed();
+      degraded.route_epochs += fabric.route_epoch();
+    }
+  }
+
+  // (b) Steady-state allocation guard with an active fault plan: all fault
+  // events land during warm-up, so the measured window steps a degraded
+  // fabric (adaptive tables, delivery guard, tracked sends) that must be
+  // allocation-free just like the pristine engine. The send period is slow
+  // enough that stop-and-wait never backs the NI queues up.
+  {
+    Fabric fabric(mesh(4));
+    fabric.configure_delivery_guard(DeliveryGuardConfig{});
+    FaultSpec spec;
+    spec.kind = FaultKind::kLinkDead;
+    spec.count = 2;
+    spec.onset_min = 50;
+    spec.onset_max = 150;
+    fabric.install_fault_plan(
+        make_fault_plan(fabric.config().dim, spec, fault_scenario_rng(11, 0)));
+    const int n = fabric.node_count();
+    const GridDim dim = fabric.config().dim;
+    auto pump = [&](int cycles) {
+      for (int c = 0; c < cycles; ++c) {
+        if (c % 64 == 0) {
+          for (int src = 0; src < n; ++src) {
+            const GridCoord co = index_to_coord(src, dim);
+            Message m = fabric.acquire_message();
+            m.src = src;
+            m.dst = coord_to_index({(co.x + 1) % dim.width, co.y}, dim);
+            m.tag = static_cast<std::uint64_t>(c);
+            m.payload.assign(4, 0x5a5a5a5aULL);
+            fabric.send(std::move(m));
+          }
+        }
+        fabric.step();
+        for (int node = 0; node < n; ++node)
+          while (auto msg = fabric.try_receive(node))
+            fabric.recycle(std::move(*msg));
+      }
+    };
+    pump(1600);  // warm-up: every fault applied, retries settled, rings warm
+    const AllocGuard guard;
+    pump(512);
+    degraded.steady_allocs = guard.count();
+  }
+
+  // (c) Fault-axis sweep: bit-identical results for any thread count, with
+  // the degraded axes exercising plan installation and the delivery guard.
+  {
+    SweepConfig fcfg;
+    fcfg.mesh_sides = {4};
+    fcfg.injection_rates = {0.05};
+    fcfg.message_words = {4};
+    fcfg.fault_counts = {0, 2};
+    fcfg.fault_kinds = {FaultKind::kLinkDead, FaultKind::kLinkFlaky};
+    fcfg.retry_budgets = {kGuardDisabled, 2};
+    fcfg.warmup_cycles = smoke ? 100 : 300;
+    fcfg.measure_cycles = smoke ? 300 : 1000;
+    fcfg.seed = 1307;
+    degraded.fault_scenarios = static_cast<int>(fcfg.scenarios().size());
+    std::vector<SweepPoint> fault_baseline;
+    for (int threads : {1, 2, 4}) {
+      fcfg.threads = threads;
+      const std::vector<SweepPoint> pts = run_noc_sweep(fcfg);
+      if (threads == 1)
+        fault_baseline = pts;
+      else if (!points_equal(fault_baseline, pts))
+        degraded.fault_sweep_deterministic = false;
+    }
+  }
+
+  std::printf(
+      "degraded fabric: conservation %s, steady-state allocs %lld%s, "
+      "fault sweep (%d scenarios) %s\n",
+      degraded.conservation ? "holds" : "BROKEN", degraded.steady_allocs,
+      alloc_guard::instrumented() ? "" : " (uninstrumented: not checked)",
+      degraded.fault_scenarios,
+      degraded.fault_sweep_deterministic ? "deterministic" : "NONDETERMINISTIC");
+  ok = ok && degraded.conservation && degraded.fault_sweep_deterministic &&
+       (degraded.steady_allocs == 0 || !alloc_guard::instrumented());
+
+  write_json(json_path, smoke, compares, rate_rows, steady_allocs, sweep,
+             degraded);
 
   if (!ok) {
     std::cerr << "FAIL: flat fabric diverged from the seed reference, "
-                 "allocated in steady state, or the scenario sweep depended "
-                 "on thread count\n";
+                 "allocated in steady state, lost a packet without a drop "
+                 "record, or a sweep depended on thread count\n";
     return 1;
   }
   return 0;

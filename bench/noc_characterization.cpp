@@ -64,6 +64,14 @@ int run(const bench::PaperArgs& args) {
     json.key("messages_received").uinteger(pt.messages_received);
     json.key("packets_delivered").uinteger(pt.packets_delivered);
     json.key("flits_delivered").uinteger(pt.flits_delivered);
+    // Delivery-guarantee counters: all zero on this pristine sweep (the
+    // grid has no fault axes), pinned in the golden so a zero-fault run
+    // that drops, retries, or reroutes is caught as a value change.
+    json.key("packets_retried").uinteger(pt.packets_retried);
+    json.key("packets_dropped").uinteger(pt.packets_dropped);
+    json.key("packets_unreachable").uinteger(pt.packets_unreachable);
+    json.key("duplicates_suppressed").uinteger(pt.duplicates_suppressed);
+    json.key("route_epochs").integer(pt.route_epochs);
     json.end_object();
   }
   json.end_array();

@@ -6,13 +6,17 @@
 # regression guard exits nonzero when its fast path diverges from the
 # golden reference (bit-exactness, steady-state allocations, thread
 # determinism), and `set -e` turns any such exit into a check failure.
+# micro_noc's smoke additionally covers the degraded-fabric guards: packet
+# conservation under every fault kind, allocation-free stepping with an
+# active fault plan, and thread-count invariance of the fault-axis sweep.
 # The Release pass additionally regenerates every PAPER_*.json figure/table
 # record in --smoke mode and diffs it against the pinned golden under
 # goldens/ with renoc_golden_diff (integer fields exact, temperatures
 # tolerance-checked, *_ms timing skipped).
 # The Release pass also runs renoc_lint over the tree (repo invariants:
 # hot-region allocations, raw randomness, ring-buffer modulo, engine hash
-# maps, untagged deferred-work markers — see tools/lint_core.hpp).
+# maps, route-table rebuilds in hot regions, untagged deferred-work
+# markers — see tools/lint_core.hpp).
 # Usage: scripts/check.sh [--skip-bench-smoke] [--sanitize=<kind>]
 #                         [extra cmake args...]
 # (flags may appear in any argument position)

@@ -31,6 +31,12 @@ struct MigrationReport {
   int phases = 0;
   std::uint64_t state_flits = 0;  ///< flits of state moved
   int moves = 0;                   ///< PEs whose state traveled
+  /// On a degraded fabric a state packet can exhaust its retry budget (the
+  /// delivery guard counts it dropped or unreachable). The migration is
+  /// then aborted: the transform is NOT applied, placement is unchanged,
+  /// and the PEs resume at their old homes so the caller can reschedule.
+  bool aborted = false;
+  int aborted_phase = -1;  ///< phase index that lost a state packet
 };
 
 /// Control-overhead model for one migration, in cycles. These are halt

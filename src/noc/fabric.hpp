@@ -59,6 +59,34 @@
 // performs zero heap allocations once the workload reaches steady state —
 // bench/micro_noc.cpp asserts this and the bit-exactness against the
 // reference on every run.
+// --- Degraded-fabric mode ---------------------------------------------------
+//
+// install_fault_plan() / configure_delivery_guard() switch the fabric into
+// degraded mode. The zero-fault configuration stays bit-identical to the
+// reference engine because every degraded-mode hook is gated behind a
+// single `degraded_` flag: until one of those calls happens, step() runs
+// the exact pre-fault code path (XY tables, pipelined NI staging, no
+// timers).
+//
+// Degraded-mode semantics:
+//   - Fault events (noc/fault_model.hpp) apply at the start of their
+//     cycle; each change bumps the route epoch, rebuilds the adaptive
+//     west-first tables (noc/routing.hpp) outside the hot regions, and
+//     purges packets the change strands (flits in dead routers, wormhole
+//     grants crossing dead links, heads whose destination became
+//     unreachable). Purged packets are never silently lost: their source
+//     tracker retransmits or accounts them dropped/unreachable.
+//   - The NI layer runs stop-and-wait per source: one tracked message
+//     outstanding, a per-packet timeout with deterministic exponential
+//     backoff, bounded retransmissions (DeliveryGuardConfig::retry_budget),
+//     and a modeled delivery-notice latency (ack_latency_cycles). A
+//     retransmission that races its own delivery notice produces a
+//     duplicate at the destination, suppressed at reassembly by
+//     (src, msg_seq). Messages to unreachable destinations are refused and
+//     reported, not spun on.
+//   - Every message accepted by send() resolves as exactly one of
+//     delivered / dropped / unreachable in NocStats once the fabric
+//     drains (the conservation law noc_property_test checks).
 #pragma once
 
 #include <cstdint>
@@ -66,8 +94,10 @@
 #include <vector>
 
 #include "floorplan/grid.hpp"
+#include "noc/fault_model.hpp"
 #include "noc/flit.hpp"
 #include "noc/router.hpp"
+#include "noc/routing.hpp"
 #include "noc/stats.hpp"
 
 namespace renoc {
@@ -77,6 +107,16 @@ struct NocConfig {
   GridDim dim{4, 4};
   int buffer_depth = 4;      ///< input FIFO depth, flits
   double clock_hz = 500e6;   ///< used to convert cycles to seconds
+
+  void validate() const;
+};
+
+/// End-to-end delivery-guarantee parameters for degraded mode.
+struct DeliveryGuardConfig {
+  int retry_budget = 3;          ///< retransmissions allowed per message
+  Cycle timeout_cycles = 512;    ///< base per-attempt timeout
+  Cycle ack_latency_cycles = 32; ///< modeled delivery-notice delay
+  int backoff_shift_cap = 4;     ///< timeout << min(attempts, cap)
 
   void validate() const;
 };
@@ -139,6 +179,27 @@ class Fabric {
   NetworkStats& stats() { return stats_; }
   const NetworkStats& stats() const { return stats_; }
 
+  // --- Degraded-fabric mode (see the header comment block) ---------------
+
+  /// Installs a fault plan (events must be the sorted output of
+  /// make_fault_plan) and enters degraded mode. The fabric must be idle.
+  /// Events whose cycle has already passed apply on the next step().
+  void install_fault_plan(const FaultPlan& plan);
+
+  /// Sets the delivery-guarantee parameters and enters degraded mode.
+  /// Installing a fault plan without calling this uses the defaults.
+  void configure_delivery_guard(const DeliveryGuardConfig& cfg);
+
+  bool degraded() const { return degraded_; }
+  /// Topology-change epoch counter: bumps once per applied fault-event
+  /// batch; the adaptive tables are rebuilt exactly once per epoch.
+  int route_epoch() const { return route_epoch_; }
+  bool router_alive(int node) const;
+  bool link_alive(int node, int dir) const;
+  /// True if a fresh injection at `src` can reach `dst` under the current
+  /// tables (always true outside degraded mode).
+  bool destination_reachable(int src, int dst) const;
+
  private:
   /// Vector-backed message FIFO. Pops reuse slots and growth happens only
   /// at the high-water mark, so steady-state push/pop never touches the
@@ -168,6 +229,9 @@ class Fabric {
     void grow();
   };
 
+  /// Sentinel for "no delivery notice pending" in the tracked-send state.
+  static constexpr Cycle kNoAck = ~Cycle{0};
+
   /// Per-node network interface state.
   struct NetworkInterface {
     bool enabled = true;
@@ -177,6 +241,20 @@ class Fabric {
     std::vector<Flit> staged_flits;
     std::size_t staged_pos = 0;
     MessageRing delivered;
+
+    // Delivery-guard state, live only in degraded mode: the one tracked
+    // outstanding message (stop-and-wait per source — delivery guarantees
+    // are bought with throughput on a degraded fabric). The message copy
+    // is retained until resolution so timeouts can retransmit it.
+    Message tracked_msg;
+    PacketId tracked_pid = 0;
+    std::uint32_t tracked_seq = 0;      ///< msg_seq, stable across attempts
+    int tracked_attempts = 0;           ///< retransmissions issued so far
+    Cycle tracked_deadline = 0;
+    Cycle tracked_ack_at = kNoAck;      ///< cycle the delivery notice lands
+    int tracked_flits_in_net = 0;       ///< current attempt's buffered flits
+    bool tracked_active = false;
+    std::uint32_t next_msg_seq = 0;     ///< per-source sequence counter
   };
 
   /// Reassembly state for the (dst, src) pair's in-flight packet.
@@ -184,6 +262,11 @@ class Fabric {
     Message msg;
     Cycle head_injected_at = 0;
     int flits = 0;  ///< 0 = no packet in progress
+    PacketId pid = 0;  ///< packet being reassembled (purge bookkeeping)
+    /// Highest msg_seq delivered from this src (degraded mode): a head
+    /// carrying msg_seq <= this is a retransmission duplicate.
+    std::uint32_t last_seq_delivered = 0;
+    bool discarding = false;  ///< swallowing a suppressed duplicate
   };
 
   std::size_t port_index(int node, int port) const {
@@ -206,6 +289,19 @@ class Fabric {
   void stage_next_message(int node);
   void inject_phase();
   void eject_flit(int node, const Flit& flit);
+
+  // Degraded-mode machinery (all cold paths; nothing here is reached when
+  // degraded_ is false).
+  void enter_degraded_mode();
+  void build_staged_flits(NetworkInterface& ni, const Message& msg,
+                          PacketId pid, std::uint32_t msg_seq);
+  void apply_due_faults();
+  void purge_stranded_packets();
+  void note_flit_left_network(const Flit& flit);
+  void guard_tick(int node, NetworkInterface& ni);
+  void admit_next_message(int node, NetworkInterface& ni);
+  void restage_tracked(NetworkInterface& ni);
+  void resolve_tracked(NetworkInterface& ni);
 
   NocConfig config_;
   int depth_ = 0;  ///< config_.buffer_depth, hoisted for the ring math
@@ -237,6 +333,20 @@ class Fabric {
   std::vector<std::vector<std::uint64_t>> payload_pool_;
   NetworkStats stats_;
   std::vector<PlannedMove> planned_;  // scratch, reserved once
+
+  // Degraded-fabric state (untouched while degraded_ is false).
+  bool degraded_ = false;
+  bool adaptive_active_ = false;  ///< first event flipped routing off XY
+  int route_epoch_ = 0;
+  DeliveryGuardConfig guard_;
+  std::vector<FaultEvent> fault_events_;  ///< sorted; consumed by cursor
+  std::size_t next_fault_ = 0;
+  std::vector<std::uint8_t> link_up_;    ///< [N*4], 0 = dead or mesh edge
+  std::vector<std::uint8_t> router_up_;  ///< [N]
+  /// West-first next hops, [(node*kDirectionCount + in_port)*N + dst];
+  /// rebuilt by build_adaptive_routes once per route epoch.
+  std::vector<std::uint8_t> adaptive_table_;
+  std::vector<PacketId> doomed_;  ///< purge scratch, sorted + deduped
 };
 
 }  // namespace renoc

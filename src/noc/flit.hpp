@@ -34,6 +34,11 @@ struct Flit {
   /// one push_back per body flit (real NoC headers carry packet length for
   /// the same reason).
   std::uint32_t pkt_flits = 1;
+  /// Per-source message sequence number, stamped at staging and identical
+  /// across retransmissions of the same message (the PacketId is fresh per
+  /// attempt). Reassembly suppresses duplicates by (src, msg_seq) when the
+  /// delivery guard is active; the reference engine ignores the field.
+  std::uint32_t msg_seq = 0;
 
   bool is_head() const {
     return type == FlitType::kHead || type == FlitType::kHeadTail;

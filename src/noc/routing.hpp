@@ -1,10 +1,26 @@
-// Dimension-order (XY) routing on a 2-D mesh.
+// Dimension-order (XY) routing on a 2-D mesh, plus the table-driven
+// adaptive route layer used on degraded fabrics.
 //
 // XY routing first corrects the X coordinate, then the Y coordinate, then
 // ejects locally. On a mesh with one flit class this is provably
 // deadlock-free (no turn from Y back to X exists), which is why the paper's
 // platform — like most NoC prototypes of the era — uses it.
+//
+// When links or routers die, XY's fixed paths break. build_adaptive_routes
+// computes per-node next-hop tables by BFS over the *live-link* graph under
+// the west-first turn restriction (Glass & Ni): a packet takes all of its
+// westward hops first, so the two turns into west (north->west,
+// south->west) and all 180-degree turns are forbidden. Prohibiting those
+// turns leaves the channel dependency graph acyclic, so any set of routes
+// drawn from the table is deadlock-free — including routes re-planned
+// mid-flight after a topology change, because the table is keyed by the
+// flit's current travel direction and only ever extends a west-first-legal
+// suffix. Destinations no west-first-legal live path reaches are marked
+// kUnreachableRoute; the fabric reports such packets instead of spinning.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "floorplan/grid.hpp"
 
@@ -39,5 +55,35 @@ GridCoord neighbor(const GridCoord& c, Direction d);
 /// phase scheduler to prove link-disjointness.
 std::vector<int> xy_path(const GridCoord& src, const GridCoord& dst,
                          const GridDim& dim);
+
+/// Adaptive-table sentinel: no west-first-legal live path to the
+/// destination exists from this (node, travel direction).
+inline constexpr std::uint8_t kUnreachableRoute = 0xFF;
+
+/// West-first turn legality: may a flit travelling in direction `moving`
+/// leave its current router through `out`? Freshly injected flits
+/// (moving == kLocal) may go anywhere; ejection (out == kLocal) is always
+/// legal; 180-degree turns and the two turns into west are not.
+bool turn_allowed(Direction moving, Direction out);
+
+/// Rebuilds the adaptive next-hop table for the live topology.
+///
+/// `link_up[node*4 + dir]` (nonzero = up) and `router_up[node]` describe
+/// the surviving mesh. The table is indexed
+///   table[(node * kDirectionCount + in_port) * node_count + dst]
+/// where in_port is the input FIFO holding the flit (kLocal = freshly
+/// injected); entries are the output Direction, or kUnreachableRoute. The
+/// in_port key carries the flit's travel direction (a flit in input port p
+/// arrived moving opposite(p)), which is the state the west-first turn
+/// restriction needs. Paths are BFS-shortest among the turn-legal live
+/// paths, with a fixed deterministic tie-break.
+///
+/// Cost is O(node_count^2) per call — strictly a topology-change-epoch
+/// operation. Calling it from inside a renoc-hot region is a lint error
+/// (rule route-rebuild).
+void build_adaptive_routes(const GridDim& dim,
+                           const std::vector<std::uint8_t>& link_up,
+                           const std::vector<std::uint8_t>& router_up,
+                           std::vector<std::uint8_t>& table);
 
 }  // namespace renoc

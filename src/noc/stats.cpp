@@ -36,6 +36,10 @@ void NetworkStats::clear() {
   packet_latency_ = RunningStats{};
   packets_delivered_ = 0;
   flits_delivered_ = 0;
+  packets_retried_ = 0;
+  packets_dropped_ = 0;
+  packets_unreachable_ = 0;
+  duplicates_suppressed_ = 0;
 }
 
 }  // namespace renoc

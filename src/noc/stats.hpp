@@ -60,6 +60,22 @@ class NetworkStats {
   std::uint64_t flits_delivered() const { return flits_delivered_; }
   void note_packet_delivered(int flits, Cycle latency);
 
+  // Delivery-guarantee accounting for degraded fabrics. Every message the
+  // NI layer accepts resolves as exactly one of delivered / dropped /
+  // unreachable (the conservation law noc_property_test checks); retries
+  // and suppressed duplicates are event counts layered on top. All four
+  // stay zero on a fault-free fabric.
+  std::uint64_t packets_retried() const { return packets_retried_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t packets_unreachable() const { return packets_unreachable_; }
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  void note_packet_retried() { ++packets_retried_; }
+  void note_packet_dropped() { ++packets_dropped_; }
+  void note_packet_unreachable() { ++packets_unreachable_; }
+  void note_duplicate_suppressed() { ++duplicates_suppressed_; }
+
   /// Sum of all tile counters.
   TileActivity total() const;
 
@@ -70,6 +86,10 @@ class NetworkStats {
   RunningStats packet_latency_;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t flits_delivered_ = 0;
+  std::uint64_t packets_retried_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_unreachable_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
 };
 
 }  // namespace renoc

@@ -23,6 +23,25 @@ void SweepConfig::validate() const {
                     "injection rate must be in (0, 1], got " << rate);
   for (int words : message_words)
     RENOC_CHECK_MSG(words >= 1, "message length must be >= 1");
+  RENOC_CHECK_MSG(!fault_counts.empty(), "sweep needs at least one fault count");
+  RENOC_CHECK_MSG(!fault_kinds.empty(), "sweep needs at least one fault kind");
+  RENOC_CHECK_MSG(!retry_budgets.empty(),
+                  "sweep needs at least one retry budget");
+  for (int budget : retry_budgets)
+    RENOC_CHECK_MSG(budget >= kGuardDisabled,
+                    "retry budget must be >= -1, got " << budget);
+  // Every (mesh, kind, count) combination must be a valid FaultSpec, so an
+  // oversubscribed fault axis fails up front instead of inside a worker.
+  for (int side : mesh_sides)
+    for (FaultKind kind : fault_kinds)
+      for (int count : fault_counts) {
+        RENOC_CHECK_MSG(count >= 0, "fault count must be >= 0, got " << count);
+        if (count == 0) continue;
+        FaultSpec spec;
+        spec.kind = kind;
+        spec.count = count;
+        spec.validate(GridDim{side, side});
+      }
   RENOC_CHECK(buffer_depth >= 1);
   RENOC_CHECK(warmup_cycles >= 0);
   RENOC_CHECK(measure_cycles >= 1);
@@ -43,19 +62,26 @@ void SweepConfig::validate() const {
 std::vector<SweepScenario> SweepConfig::scenarios() const {
   std::vector<SweepScenario> out;
   out.reserve(patterns.size() * mesh_sides.size() * injection_rates.size() *
-              message_words.size());
+              message_words.size() * fault_counts.size() *
+              fault_kinds.size() * retry_budgets.size());
   for (TrafficPattern pattern : patterns)
     for (int side : mesh_sides)
       for (double rate : injection_rates)
-        for (int words : message_words) {
-          SweepScenario sc;
-          sc.pattern = pattern;
-          sc.dim = GridDim{side, side};
-          sc.injection_rate = rate;
-          sc.message_words = words;
-          sc.burst = burst;
-          out.push_back(sc);
-        }
+        for (int words : message_words)
+          for (int faults : fault_counts)
+            for (FaultKind kind : fault_kinds)
+              for (int budget : retry_budgets) {
+                SweepScenario sc;
+                sc.pattern = pattern;
+                sc.dim = GridDim{side, side};
+                sc.injection_rate = rate;
+                sc.message_words = words;
+                sc.burst = burst;
+                sc.fault_count = faults;
+                sc.fault_kind = kind;
+                sc.retry_budget = budget;
+                out.push_back(sc);
+              }
   return out;
 }
 
@@ -74,6 +100,28 @@ SweepPoint run_noc_scenario(const SweepScenario& scenario,
   ncfg.dim = scenario.dim;
   ncfg.buffer_depth = cfg.buffer_depth;
   Fabric fabric(ncfg);
+  // Degraded-fabric setup happens before the first step, while the fabric
+  // is idle. The fault plan's stream is salted separately from the traffic
+  // stream but derived from the same (seed, scenario_index) pair, so any
+  // scenario — faulty or not — replays in O(1) with run_noc_scenario().
+  if (scenario.retry_budget >= 0) {
+    DeliveryGuardConfig guard;
+    guard.retry_budget = scenario.retry_budget;
+    fabric.configure_delivery_guard(guard);
+  }
+  if (scenario.fault_count > 0) {
+    FaultSpec spec;
+    spec.kind = scenario.fault_kind;
+    spec.count = scenario.fault_count;
+    // Faults land inside the measured window so the delivery guard's
+    // counters have something to say.
+    spec.onset_min = static_cast<Cycle>(cfg.warmup_cycles);
+    spec.onset_max =
+        static_cast<Cycle>(cfg.warmup_cycles + cfg.measure_cycles);
+    fabric.install_fault_plan(
+        make_fault_plan(scenario.dim, spec,
+                        fault_scenario_rng(cfg.seed, scenario_index)));
+  }
   TrafficGenerator gen(fabric, scenario.pattern, scenario.injection_rate,
                        scenario.message_words,
                        sweep_scenario_rng(cfg.seed, scenario_index),
@@ -127,6 +175,11 @@ SweepPoint run_noc_scenario(const SweepScenario& scenario,
   point.avg_latency_cycles = stats.packet_latency().mean();
   point.max_latency_cycles = stats.packet_latency().max();
   point.cycles = fabric.now() - measure_start;
+  point.packets_retried = stats.packets_retried();
+  point.packets_dropped = stats.packets_dropped();
+  point.packets_unreachable = stats.packets_unreachable();
+  point.duplicates_suppressed = stats.duplicates_suppressed();
+  point.route_epochs = fabric.route_epoch();
 
   const double node_cycles =
       static_cast<double>(scenario.dim.node_count()) *

@@ -25,10 +25,18 @@
 #include <vector>
 
 #include "noc/fabric.hpp"
+#include "noc/fault_model.hpp"
 #include "noc/traffic.hpp"
 #include "util/rng.hpp"
 
 namespace renoc {
+
+/// Sentinel retry budget: leave the fabric pristine (no delivery guard, no
+/// degraded mode). The default fault axes are {count 0} x {kLinkDead} x
+/// {kGuardDisabled}, so a config that never mentions faults enumerates the
+/// exact same scenario grid — same indices, same RNG streams, same results
+/// — as before the fault axes existed.
+inline constexpr int kGuardDisabled = -1;
 
 /// One point of the sweep grid.
 struct SweepScenario {
@@ -38,6 +46,12 @@ struct SweepScenario {
   int message_words = 4;
   BurstParams burst{};
   int hotspot = 0;
+  // Degraded-fabric axes. fault_count > 0 installs a fault plan derived
+  // from fault_scenario_rng(seed, scenario_index) — O(1) replayable, like
+  // the traffic stream. retry_budget >= 0 configures the delivery guard.
+  int fault_count = 0;
+  FaultKind fault_kind = FaultKind::kLinkDead;
+  int retry_budget = kGuardDisabled;
 };
 
 struct SweepConfig {
@@ -45,6 +59,11 @@ struct SweepConfig {
   std::vector<int> mesh_sides = {4};          ///< square meshes, side length
   std::vector<double> injection_rates = {0.1};
   std::vector<int> message_words = {4};
+  // Degraded-fabric axes, appended INNERMOST in scenarios() so the default
+  // size-1 axes keep every pre-existing scenario index (and stream) stable.
+  std::vector<int> fault_counts = {0};
+  std::vector<FaultKind> fault_kinds = {FaultKind::kLinkDead};
+  std::vector<int> retry_budgets = {kGuardDisabled};
   BurstParams burst{};       ///< applied to every scenario
   int buffer_depth = 4;
   int warmup_cycles = 500;
@@ -56,8 +75,9 @@ struct SweepConfig {
   void validate() const;
 
   /// The scenario grid in its fixed enumeration order (pattern-major, then
-  /// mesh side, injection rate, message length). Index i here is the
-  /// scenario index fed to sweep_scenario_rng.
+  /// mesh side, injection rate, message length, fault count, fault kind,
+  /// retry budget). Index i here is the scenario index fed to
+  /// sweep_scenario_rng and fault_scenario_rng.
   std::vector<SweepScenario> scenarios() const;
 };
 
@@ -82,6 +102,15 @@ struct SweepPoint {
   double avg_latency_cycles = 0.0;  ///< head injection to tail ejection
   double max_latency_cycles = 0.0;
   std::uint64_t cycles = 0;         ///< measure + drain cycles simulated
+
+  // Delivery-guarantee counters (NocStats), measure window + drain. All
+  // zero for pristine scenarios; on a degraded fabric every message the NI
+  // accepted resolves as exactly one of delivered/dropped/unreachable.
+  std::uint64_t packets_retried = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_unreachable = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  int route_epochs = 0;  ///< topology-change epochs over the whole run
 };
 
 /// Runs the sweep; returns one SweepPoint per scenario in scenarios()

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "core/phase_scheduler.hpp"
 #include "core/transform.hpp"
 #include "noc/fabric.hpp"
+#include "noc/fault_model.hpp"
 #include "noc/traffic.hpp"
 #include "util/rng.hpp"
 
@@ -129,6 +131,68 @@ TEST_P(MeshSweep, ShiftMigrationSchedulesOnAnyShape) {
     scheduled += static_cast<int>(phase.moves.size());
   }
   EXPECT_EQ(scheduled, dim.node_count());  // shift has no fixed points
+}
+
+TEST_P(MeshSweep, DegradedDeliveryAccountingIsConserved) {
+  // The degraded-fabric conservation law: once the fabric drains, every
+  // message send() accepted has resolved as exactly one of delivered /
+  // dropped / unreachable — a packet lost to a fault without a record is
+  // a bug, on every mesh shape and every fault kind.
+  const GridDim dim = GetParam();
+  Fabric fabric(config());
+  DeliveryGuardConfig guard;
+  guard.timeout_cycles = 128;
+  guard.ack_latency_cycles = 16;
+  guard.retry_budget = 2;
+  fabric.configure_delivery_guard(guard);
+  FaultSpec spec;
+  spec.kind = static_cast<FaultKind>((dim.width + dim.height) % 3);
+  spec.count = 2;
+  spec.onset_min = 50;
+  spec.onset_max = 600;
+  spec.validate(dim);
+  fabric.install_fault_plan(make_fault_plan(
+      dim, spec, fault_scenario_rng(21, dim.width * 97 + dim.height)));
+
+  Rng rng(0x5eedULL + static_cast<std::uint64_t>(dim.node_count()));
+  const int n = fabric.node_count();
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  auto collect = [&] {
+    for (int node = 0; node < n; ++node)
+      while (auto got = fabric.try_receive(node)) {
+        ++received;
+        fabric.recycle(std::move(*got));
+      }
+  };
+  for (int cycle = 0; cycle < 900; ++cycle) {
+    if (cycle % 3 == 0) {
+      const int src = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      int dst = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(n - 1)));
+      if (dst >= src) ++dst;
+      Message m = fabric.acquire_message();
+      m.src = src;
+      m.dst = dst;
+      m.payload.assign(4, static_cast<std::uint64_t>(cycle));
+      fabric.send(std::move(m));
+      ++sent;
+    }
+    fabric.step();
+    collect();
+  }
+  fabric.drain(2'000'000);
+  collect();
+
+  const NetworkStats& st = fabric.stats();
+  EXPECT_EQ(st.packets_delivered() + st.packets_dropped() +
+                st.packets_unreachable(),
+            sent)
+      << "a packet was lost without a drop/unreachable record";
+  EXPECT_EQ(st.packets_delivered(), received)
+      << "delivered counter disagrees with messages handed to receivers";
+  EXPECT_TRUE(fabric.idle());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -36,6 +36,15 @@ TEST(RoutingTest, OppositeDirections) {
   EXPECT_THROW(opposite(Direction::kLocal), CheckError);
 }
 
+TEST(RoutingTest, OppositeIsAnInvolutionOnMeshDirections) {
+  for (int d = 0; d < 4; ++d) {
+    const Direction dir = static_cast<Direction>(d);
+    EXPECT_EQ(opposite(opposite(dir)), dir);
+  }
+  EXPECT_EQ(opposite(Direction::kSouth), Direction::kNorth);
+  EXPECT_EQ(opposite(Direction::kWest), Direction::kEast);
+}
+
 TEST(RoutingTest, XyPathIsMinimalAndXFirst) {
   const GridDim dim{4, 4};
   const auto path = xy_path({0, 0}, {2, 3}, dim);
@@ -45,6 +54,38 @@ TEST(RoutingTest, XyPathIsMinimalAndXFirst) {
   EXPECT_EQ(path[2], coord_to_index({2, 0}, dim));
   EXPECT_EQ(path[3], coord_to_index({2, 1}, dim));
   EXPECT_EQ(path.back(), coord_to_index({2, 3}, dim));
+}
+
+TEST(RoutingTest, XyPathSourceEqualsDestination) {
+  const GridDim dim{4, 4};
+  const auto path = xy_path({2, 3}, {2, 3}, dim);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], coord_to_index({2, 3}, dim));
+}
+
+TEST(RoutingTest, XyPathOnDegenerateMeshes) {
+  // 1xN column mesh: the walk is pure Y (no X to correct).
+  const GridDim column{1, 5};
+  const auto down = xy_path({0, 4}, {0, 1}, column);
+  ASSERT_EQ(down.size(), 4u);
+  for (std::size_t i = 0; i < down.size(); ++i)
+    EXPECT_EQ(down[i], coord_to_index({0, 4 - static_cast<int>(i)}, column));
+  // Nx1 row mesh: pure X.
+  const GridDim row{6, 1};
+  const auto east = xy_path({0, 0}, {5, 0}, row);
+  ASSERT_EQ(east.size(), 6u);
+  for (std::size_t i = 0; i < east.size(); ++i)
+    EXPECT_EQ(east[i], coord_to_index({static_cast<int>(i), 0}, row));
+}
+
+TEST(RoutingTest, XyPathOnNonSquareMeshCorrectsXCompletelyFirst) {
+  const GridDim wide{5, 2};
+  const auto path = xy_path({4, 1}, {0, 0}, wide);
+  const std::vector<int> expected = {
+      coord_to_index({4, 1}, wide), coord_to_index({3, 1}, wide),
+      coord_to_index({2, 1}, wide), coord_to_index({1, 1}, wide),
+      coord_to_index({0, 1}, wide), coord_to_index({0, 0}, wide)};
+  EXPECT_EQ(path, expected);
 }
 
 TEST(FabricTest, SingleMessageDelivered) {

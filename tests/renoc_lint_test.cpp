@@ -230,6 +230,51 @@ TEST(EngineUnorderedMapTest, BansHashMapsInFlatEngines) {
   EXPECT_TRUE(lint_source("src/noc/reference_fabric2.hpp", src).empty());
 }
 
+// --- route-rebuild ---------------------------------------------------------
+
+TEST(RouteRebuildTest, FiresOnTableRebuildInsideHotRegions) {
+  const std::string src = R"cpp(void step() {
+  // renoc-hot-begin
+  build_adaptive_routes(dim, link_up, router_up, table);
+  purge_stranded_packets();
+  // renoc-hot-end
+  build_adaptive_routes(dim, link_up, router_up, table);
+}
+)cpp";
+  const auto findings = lint_source("src/noc/fabric2.cpp", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "route-rebuild");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("build_adaptive_routes"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].rule, "route-rebuild");
+  EXPECT_EQ(findings[1].line, 4);  // line 6's call is in the cold path
+}
+
+TEST(RouteRebuildTest, IgnoresMentionsThatAreNotCalls) {
+  // A comment, a string, or taking the function's name without calling it
+  // must stay quiet even inside a hot region.
+  const std::string src = R"cpp(void step() {
+  // renoc-hot-begin
+  // build_adaptive_routes runs per epoch, never here
+  auto* fn = &Fabric::purge_stranded_packets;
+  // renoc-hot-end
+}
+)cpp";
+  EXPECT_TRUE(lint_source("src/noc/fabric2.cpp", src).empty());
+}
+
+TEST(RouteRebuildTest, SuppressibleWithJustification) {
+  const std::string src = R"cpp(void step() {
+  // renoc-hot-begin
+  // renoc-lint-allow(route-rebuild): one-shot rebuild measured cold
+  build_adaptive_routes(dim, link_up, router_up, table);
+  // renoc-hot-end
+}
+)cpp";
+  EXPECT_TRUE(lint_source("src/noc/fabric2.cpp", src).empty());
+}
+
 // --- todo-tag --------------------------------------------------------------
 
 TEST(TodoTagTest, RequiresIssueTagOnDeferredWorkMarkers) {

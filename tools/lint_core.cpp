@@ -22,7 +22,7 @@ constexpr std::string_view kAllowMarker = "renoc-lint-allow";
 const std::set<std::string, std::less<>>& suppressible_rules() {
   static const std::set<std::string, std::less<>> rules = {
       "hot-alloc", "raw-random", "ring-modulo", "engine-unordered-map",
-      "todo-tag"};
+      "route-rebuild", "todo-tag"};
   return rules;
 }
 
@@ -147,6 +147,12 @@ constexpr std::string_view kRingWords[] = {"head", "tail", "cursor", "ring",
                                            "fifo"};
 
 constexpr std::string_view kRawRandomCalls[] = {"rand", "srand", "time"};
+
+/// Topology-change-epoch operations: O(N^2) route-table rebuilds (and the
+/// packet purge that follows one). Legal in the cold fault-application
+/// path, a per-cycle disaster anywhere inside a hot region.
+constexpr std::string_view kRouteRebuildCalls[] = {"build_adaptive_routes",
+                                                   "purge_stranded_packets"};
 
 }  // namespace
 
@@ -356,6 +362,18 @@ std::vector<Finding> lint_source(std::string_view path,
                "'" + std::string(t.token) + "' in a hot region (" +
                    std::string(t.why) +
                    "); hoist it to setup or suppress with a justification");
+          break;
+        }
+      }
+    }
+
+    if (in_hot && !is_allowed(lineno, "route-rebuild")) {
+      for (const std::string_view call : kRouteRebuildCalls) {
+        if (contains_call(code_line, call)) {
+          emit(lineno, "route-rebuild",
+               "'" + std::string(call) +
+                   "' in a hot region: table rebuilds are O(node_count^2) "
+                   "and belong in the per-epoch fault-application path");
           break;
         }
       }
