@@ -110,8 +110,11 @@ MigrationReport MigrationController::migrate(
       report.aborted_phase = phase_index;
       break;
     }
-    // Phase barrier: quiesce detection and configuration commit for this
-    // group before the next group starts (control time, no traffic).
+    // Phase barrier: quiesce detection for this group before the next one
+    // starts (control time, no traffic). No configuration is committed
+    // here — the transform and re-homing are applied all-or-nothing in
+    // step 4, which is what lets an abort in a later phase leave the
+    // translator and placement untouched.
     fabric_->run(timing_.phase_barrier_cycles);
     ++phase_index;
   }

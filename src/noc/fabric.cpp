@@ -669,6 +669,11 @@ void Fabric::purge_stranded_packets() {
         if (slot.flits > 0 || slot.discarding) doomed_.push_back(slot.pid);
       }
       const auto& ni = nis_[static_cast<std::size_t>(n)];
+      // The dead NI's current attempt dies with it even when every flit is
+      // in flight elsewhere on a healthy path: Pass B4 resolves the tracker
+      // (recording the drop), so letting those flits eject would count the
+      // same packet both dropped and delivered.
+      if (ni.tracked_active) doomed_.push_back(ni.tracked_pid);
       if (ni.staged_pos < ni.staged_flits.size())
         doomed_.push_back(ni.staged_flits[0].packet);
     }

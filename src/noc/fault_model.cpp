@@ -64,7 +64,10 @@ const char* to_string(FaultKind k) {
 void FaultSpec::validate(const GridDim& dim) const {
   RENOC_CHECK_MSG(count >= 0, "fault count must be >= 0, got " << count);
   RENOC_CHECK(onset_min <= onset_max);
-  RENOC_CHECK(flake_min >= 1 && flake_min <= flake_max);
+  // The flake window only exists for flaky links; dead-link/router specs
+  // may leave the unused fields zeroed.
+  if (kind == FaultKind::kLinkFlaky)
+    RENOC_CHECK(flake_min >= 1 && flake_min <= flake_max);
   if (kind == FaultKind::kRouterDead) {
     RENOC_CHECK_MSG(count < dim.node_count(),
                     "cannot kill all " << dim.node_count() << " routers");

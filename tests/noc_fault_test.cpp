@@ -153,6 +153,22 @@ TEST(FaultPlanTest, FaultStreamIsSaltedAwayFromTrafficStream) {
   }
 }
 
+TEST(FaultPlanTest, ValidateIgnoresFlakeWindowForNonFlakyKinds) {
+  // Dead-link/router specs may leave the (unused) flake fields zeroed;
+  // only a flaky spec owns the flake-window invariant.
+  const GridDim dim{4, 4};
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkDead;
+  spec.count = 2;
+  spec.flake_min = 0;
+  spec.flake_max = 0;
+  EXPECT_NO_THROW(spec.validate(dim));
+  spec.kind = FaultKind::kRouterDead;
+  EXPECT_NO_THROW(spec.validate(dim));
+  spec.kind = FaultKind::kLinkFlaky;
+  EXPECT_THROW(spec.validate(dim), CheckError);
+}
+
 // --- West-first turn model -------------------------------------------------
 
 TEST(WestFirstTest, TurnRules) {
@@ -460,6 +476,45 @@ TEST(DegradedFabricTest, UnreachableRefusedAndDeadSourceDropped) {
   EXPECT_EQ(st.packets_delivered(), 0u);
   EXPECT_FALSE(fabric.try_receive(0).has_value());
   EXPECT_FALSE(fabric.try_receive(5).has_value());
+}
+
+TEST(DegradedFabricTest, SourceDeathAtAnyCycleConservesAccounting) {
+  // Regression for a conservation-law double count: kill the source
+  // router at every cycle offset around a single corner-to-corner send.
+  // The hazardous window is the one where every flit of the tracked
+  // attempt is in flight beyond the source — the purge resolves the dead
+  // NI's tracker as dropped, so it must also doom those in-flight flits,
+  // or the packet would ALSO eject at the destination and count
+  // delivered, making delivered+dropped+unreachable exceed the one
+  // accepted send.
+  for (Cycle kill = 1; kill <= 48; ++kill) {
+    Fabric fabric(mesh(4));
+    DeliveryGuardConfig guard;
+    guard.timeout_cycles = 32;
+    guard.ack_latency_cycles = 4;
+    fabric.configure_delivery_guard(guard);
+    FaultPlan plan;
+    plan.events.push_back({FaultEvent::Kind::kRouterDown, kill, 0, 0});
+    fabric.install_fault_plan(plan);
+
+    Message m;
+    m.src = 0;
+    m.dst = 15;
+    m.tag = 3;
+    m.payload.assign(6, 0xC0DE);
+    fabric.send(m);
+    fabric.drain();
+
+    const NetworkStats& st = fabric.stats();
+    EXPECT_EQ(st.packets_delivered() + st.packets_dropped() +
+                  st.packets_unreachable(),
+              1u)
+        << "conservation violated with source killed at cycle " << kill;
+    const bool received = fabric.try_receive(15).has_value();
+    EXPECT_EQ(received, st.packets_delivered() == 1u)
+        << "delivered counter disagrees with receipt at kill cycle "
+        << kill;
+  }
 }
 
 TEST(DegradedFabricTest, FlakyLinkRecoversWithItsOwnRouteEpoch) {
