@@ -36,6 +36,7 @@
 #include "ldpc/noc_decoder.hpp"
 #include "ldpc/reference_decoder.hpp"
 #include "noc/fabric.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 // Steady-state allocations are counted by util/alloc_guard (referencing it
@@ -119,6 +120,83 @@ GoldenRow run_golden_row(int n, int iterations, double budget_ms) {
   return row;
 }
 
+struct BatchTierRow {
+  simd::Tier tier = simd::Tier::kScalar;
+  double scalar_ms_per_cw = 0.0;  ///< sequential MinSumDecoder baseline
+  double batch_ms_per_cw = 0.0;   ///< batch-of-8 through this tier's table
+  double speedup = 0.0;
+  long long steady_allocs = 0;
+  bool bit_exact = true;
+};
+
+/// Times the batched multi-codeword decoder through every compiled SIMD
+/// tier against the sequential scalar engine on the same eight blocks, and
+/// sweeps batch sizes and early-exit modes demanding every per-lane
+/// DecodeResult field match the scalar decode bit for bit.
+std::vector<BatchTierRow> run_batch_rows(int n, int iterations,
+                                         double budget_ms) {
+  const CodeFixture f(n);
+  constexpr int kBatch = 8;
+  std::vector<std::vector<std::int16_t>> blocks;
+  std::vector<const std::int16_t*> ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    Rng rng(40 + static_cast<std::uint64_t>(b));
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(f.encoder.k()));
+    for (auto& bit : data) bit = static_cast<std::uint8_t>(rng.next_below(2));
+    AwgnChannel channel(1.5 + 0.25 * b, 0.5, rng.split());
+    blocks.push_back(quantize_llrs(channel.transmit(f.encoder.encode(data))));
+    ptrs.push_back(blocks.back().data());
+  }
+
+  const MinSumDecoder scalar(f.code, iterations, true);
+  DecodeResult scalar_result;
+  const double scalar_ms = time_ms(budget_ms, [&] {
+    for (int b = 0; b < kBatch; ++b)
+      scalar.decode_into(blocks[static_cast<std::size_t>(b)], scalar_result);
+  });
+
+  std::vector<BatchTierRow> rows;
+  for (int t = 0; t < simd::kTierCount; ++t) {
+    const simd::KernelTable* table =
+        simd::kernel_table(static_cast<simd::Tier>(t));
+    if (table == nullptr) continue;
+    BatchTierRow row;
+    row.tier = table->tier;
+    row.scalar_ms_per_cw = scalar_ms / kBatch;
+
+    const MinSumBatchDecoder batched(f.code, iterations, true, kBatch, table);
+    std::vector<DecodeResult> results(kBatch);
+    row.batch_ms_per_cw =
+        time_ms(budget_ms, [&] {
+          batched.decode_batch_into(ptrs.data(), kBatch, results.data());
+        }) /
+        kBatch;
+    row.speedup = row.scalar_ms_per_cw / row.batch_ms_per_cw;
+
+    {
+      const AllocGuard guard;
+      for (int i = 0; i < 32; ++i)
+        batched.decode_batch_into(ptrs.data(), kBatch, results.data());
+      row.steady_allocs = guard.count();
+    }
+
+    for (const bool early : {false, true}) {
+      const MinSumDecoder oracle(f.code, iterations, early);
+      const MinSumBatchDecoder dec(f.code, iterations, early, kBatch, table);
+      for (const int batch : {1, 3, kBatch}) {
+        dec.decode_batch_into(ptrs.data(), batch, results.data());
+        for (int b = 0; b < batch; ++b)
+          if (!results_equal(
+                  results[static_cast<std::size_t>(b)],
+                  oracle.decode(blocks[static_cast<std::size_t>(b)])))
+            row.bit_exact = false;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 struct NocRow {
   int iterations = 0;
   double ms = 0.0;
@@ -169,6 +247,41 @@ bool points_equal(const std::vector<BerPoint>& a,
   return true;
 }
 
+struct BerBatchRow {
+  int batch = 0;
+  double ms = 0.0;
+};
+
+struct BerBatch {
+  std::vector<BerBatchRow> rows;
+  bool deterministic = true;  ///< counts identical across batch widths
+};
+
+/// Runs the sweep at batch widths 1/4/8 (two threads, so batches race the
+/// job cursor) and checks the counts are identical — the batch decoder is
+/// a pure throughput knob, never a semantic one.
+BerBatch run_ber_batch(const CodeFixture& f, BerConfig cfg,
+                       double budget_ms) {
+  cfg.threads = 2;
+  BerBatch out;
+  std::vector<BerPoint> baseline;
+  for (const int batch : {1, 4, 8}) {
+    cfg.batch_size = batch;
+    std::vector<BerPoint> pts;
+    BerBatchRow row;
+    row.batch = batch;
+    row.ms = time_ms(budget_ms,
+                     [&] { pts = run_ber_sweep(f.code, f.encoder, cfg); });
+    if (batch == 1) {
+      baseline = pts;
+    } else if (!points_equal(baseline, pts)) {
+      out.deterministic = false;
+    }
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
 BerScaling run_ber_scaling(const CodeFixture& f, BerConfig cfg,
                            double budget_ms) {
   BerScaling scaling;
@@ -196,8 +309,10 @@ BerScaling run_ber_scaling(const CodeFixture& f, BerConfig cfg,
 }
 
 void write_json(const std::string& path, bool smoke,
-                const std::vector<GoldenRow>& golden, const NocRow& noc,
-                const BerScaling& ber, const BerConfig& ber_cfg) {
+                const std::vector<GoldenRow>& golden,
+                const std::vector<BatchTierRow>& batch, const NocRow& noc,
+                const BerScaling& ber, const BerBatch& ber_batch,
+                const BerConfig& ber_cfg) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -220,6 +335,32 @@ void write_json(const std::string& path, bool smoke,
     json.end_object();
   }
   json.end_array();
+  json.key("batch_decode").begin_object();
+  json.key("active_tier").string(simd::active_tier_name());
+  json.key("tiers").begin_array();
+  for (const BatchTierRow& r : batch) {
+    json.begin_object();
+    json.key("tier").string(simd::tier_name(r.tier));
+    json.key("scalar_ms_per_cw").real(r.scalar_ms_per_cw);
+    json.key("batch_ms_per_cw").real(r.batch_ms_per_cw);
+    json.key("speedup").real(r.speedup, 3);
+    json.key("steady_state_allocs").integer(r.steady_allocs);
+    json.key("bit_exact").boolean(r.bit_exact);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.key("ber_batch_widths").begin_object();
+  json.key("deterministic").boolean(ber_batch.deterministic);
+  json.key("widths").begin_array();
+  for (const BerBatchRow& r : ber_batch.rows) {
+    json.begin_object();
+    json.key("batch_size").integer(r.batch);
+    json.key("ms").real(r.ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
   json.key("noc_block_decode").begin_object();
   json.key("n").integer(510);
   json.key("clusters").integer(16);
@@ -275,6 +416,27 @@ int run(bool smoke, const std::string& json_path) {
   }
   golden_table.print(std::cout);
 
+  // --- Batched multi-codeword decode, per SIMD tier --------------------
+  const std::vector<BatchTierRow> batch_rows =
+      run_batch_rows(sizes.front(), 10, budget_ms);
+  Table batch_table({"tier", "scalar ms/cw", "batch ms/cw", "speedup",
+                     "steady allocs", "bit-exact"});
+  batch_table.set_title(
+      std::string("Batched decode (8 codewords/pass) vs sequential scalar, "
+                  "every compiled SIMD tier; active tier: ") +
+      simd::active_tier_name() + (smoke ? " [smoke]" : ""));
+  for (const BatchTierRow& r : batch_rows) {
+    batch_table.add_row({simd::tier_name(r.tier),
+                         Table::num(r.scalar_ms_per_cw, 4),
+                         Table::num(r.batch_ms_per_cw, 4),
+                         Table::num(r.speedup, 2),
+                         std::to_string(r.steady_allocs),
+                         r.bit_exact ? "yes" : "NO"});
+    ok = ok && r.bit_exact &&
+         (r.steady_allocs == 0 || !alloc_guard::instrumented());
+  }
+  batch_table.print(std::cout);
+
   // --- NoC block decode -------------------------------------------------
   const NocRow noc = run_noc_row(smoke ? 2 : 8, budget_ms);
   Table noc_table({"n", "clusters", "iterations", "block ms", "== golden"});
@@ -308,12 +470,25 @@ int run(bool smoke, const std::string& json_path) {
   ber_table.print(std::cout);
   ok = ok && ber.deterministic;
 
-  write_json(json_path, smoke, golden_rows, noc, ber, cfg);
+  // --- BER batch-width indifference ------------------------------------
+  const BerBatch ber_batch = run_ber_batch(f, cfg, smoke ? 1.0 : 50.0);
+  Table batch_width_table({"batch", "sweep ms", "deterministic"});
+  batch_width_table.set_title(
+      "Monte-Carlo BER sweep, 2 threads: batch-width scaling; counts must "
+      "not depend on batch size");
+  for (const BerBatchRow& r : ber_batch.rows)
+    batch_width_table.add_row({std::to_string(r.batch), Table::num(r.ms, 2),
+                               ber_batch.deterministic ? "yes" : "NO"});
+  batch_width_table.print(std::cout);
+  ok = ok && ber_batch.deterministic;
+
+  write_json(json_path, smoke, golden_rows, batch_rows, noc, ber, ber_batch,
+             cfg);
 
   if (!ok) {
-    std::cerr << "FAIL: flat decode diverged from the golden semantics, "
-                 "allocated in steady state, or the BER sweep depended on "
-                 "thread count\n";
+    std::cerr << "FAIL: flat or batched decode diverged from the golden "
+                 "semantics, allocated in steady state, or the BER sweep "
+                 "depended on thread count or batch width\n";
     return 1;
   }
   return 0;

@@ -34,10 +34,13 @@
 #include "noc/fault_model.hpp"
 #include "util/json.hpp"
 #include "noc/reference_fabric.hpp"
+#include "noc/routing.hpp"
 #include "noc/sweep_harness.hpp"
 #include "noc/traffic.hpp"
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 // Steady-state allocations are counted by util/alloc_guard (referencing it
@@ -250,6 +253,79 @@ struct RateRow {
   double speedup = 0.0;
 };
 
+struct WantScanRow {
+  simd::Tier tier = simd::Tier::kScalar;
+  double ms = 0.0;  ///< one full-mesh want[] prepass over all port mirrors
+  double speedup = 0.0;  // vs the scalar tier
+  bool exact = true;     ///< agrees with the inline scalar computation
+};
+
+/// Times the arbitration want[]-prepass kernel through every compiled SIMD
+/// tier on synthetic head-flit mirrors of a side x side mesh (the arrays
+/// Fabric::step() feeds it), checking exact agreement with the fabric's
+/// inline scalar computation — including unreachable routes and the zeroed
+/// pad lanes, which must scan as "wants nothing" (-1).
+std::vector<WantScanRow> run_want_scan_rows(int side, double budget_ms) {
+  const int nodes = side * side;
+  const int ports = nodes * kDirectionCount;
+  const int padded = (ports + 7) / 8 * 8;
+  AlignedVec<int> fifo_size, head_dst, route_base, want;
+  AlignedVec<std::uint8_t> head_is_head;
+  fifo_size.assign(static_cast<std::size_t>(padded), 0);
+  head_dst.assign(static_cast<std::size_t>(padded), 0);
+  route_base.assign(static_cast<std::size_t>(padded), 0);
+  want.assign(static_cast<std::size_t>(padded), 0);
+  head_is_head.assign(static_cast<std::size_t>(padded), 0);
+  std::vector<std::uint8_t> table(
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes) + 4,
+      0);
+  Rng rng(31);
+  for (std::size_t i = 0; i + 4 < table.size(); ++i) {
+    const std::uint64_t roll = rng.next_below(8);
+    table[i] =
+        roll == 7 ? kUnreachableRoute : static_cast<std::uint8_t>(roll % 5);
+  }
+  for (int f = 0; f < ports; ++f) {
+    const std::size_t fz = static_cast<std::size_t>(f);
+    fifo_size[fz] = static_cast<int>(rng.next_below(3));
+    head_is_head[fz] = static_cast<std::uint8_t>(rng.next_below(2));
+    head_dst[fz] =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nodes)));
+    route_base[fz] = (f / kDirectionCount) * nodes;
+  }
+
+  std::vector<int> expect(static_cast<std::size_t>(padded), -1);
+  for (int f = 0; f < ports; ++f) {
+    const std::size_t fz = static_cast<std::size_t>(f);
+    if (fifo_size[fz] > 0 && head_is_head[fz] != 0) {
+      const std::uint8_t out =
+          table[static_cast<std::size_t>(route_base[fz] + head_dst[fz])];
+      expect[fz] = out == kUnreachableRoute ? -1 : static_cast<int>(out);
+    }
+  }
+
+  std::vector<WantScanRow> rows;
+  for (int t = 0; t < simd::kTierCount; ++t) {
+    const simd::KernelTable* kt =
+        simd::kernel_table(static_cast<simd::Tier>(t));
+    if (kt == nullptr) continue;
+    WantScanRow row;
+    row.tier = kt->tier;
+    row.ms = time_ms(budget_ms, [&] {
+      kt->noc_want_scan(fifo_size.data(), head_is_head.data(),
+                        head_dst.data(), route_base.data(), table.data(),
+                        padded, want.data());
+    });
+    row.speedup = rows.empty() ? 1.0 : rows[0].ms / row.ms;
+    for (int f = 0; f < padded && row.exact; ++f)
+      if (want[static_cast<std::size_t>(f)] !=
+          expect[static_cast<std::size_t>(f)])
+        row.exact = false;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 struct SweepGuard {
   int scenarios = 0;
   bool deterministic = true;
@@ -297,8 +373,10 @@ struct DegradedGuard {
 
 void write_json(const std::string& path, bool smoke,
                 const std::vector<CompareRow>& compares,
-                const std::vector<RateRow>& rates, long long steady_allocs,
-                const SweepGuard& sweep, const DegradedGuard& degraded) {
+                const std::vector<RateRow>& rates,
+                const std::vector<WantScanRow>& want_scan,
+                long long steady_allocs, const SweepGuard& sweep,
+                const DegradedGuard& degraded) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -332,6 +410,19 @@ void write_json(const std::string& path, bool smoke,
     json.end_object();
   }
   json.end_array();
+  json.key("want_scan").begin_object();
+  json.key("active_tier").string(simd::active_tier_name());
+  json.key("tiers").begin_array();
+  for (const WantScanRow& r : want_scan) {
+    json.begin_object();
+    json.key("tier").string(simd::tier_name(r.tier));
+    json.key("ms").real(r.ms);
+    json.key("speedup").real(r.speedup, 3);
+    json.key("exact").boolean(r.exact);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
   json.key("steady_state_allocs").integer(steady_allocs);
   json.key("sweep_determinism").begin_object();
   json.key("scenarios").integer(sweep.scenarios);
@@ -453,6 +544,22 @@ int run(bool smoke, const std::string& json_path) {
          Table::num(row.flat_cps / 1e6, 2), Table::num(row.speedup, 2)});
   }
   rate_table.print(std::cout);
+
+  // --- Arbitration want-scan kernel, per SIMD tier ----------------------
+  const std::vector<WantScanRow> want_rows =
+      run_want_scan_rows(smoke ? 8 : 16, budget_ms);
+  Table want_table({"tier", "scan ms", "speedup", "exact"});
+  want_table.set_title(
+      std::string("Arbitration want[]-prepass over all port mirrors (") +
+      (smoke ? "8x8" : "16x16") +
+      " mesh), every compiled SIMD tier; active tier: " +
+      simd::active_tier_name());
+  for (const WantScanRow& r : want_rows) {
+    want_table.add_row({simd::tier_name(r.tier), Table::num(r.ms, 5),
+                        Table::num(r.speedup, 2), r.exact ? "yes" : "NO"});
+    ok = ok && r.exact;
+  }
+  want_table.print(std::cout);
 
   // --- Steady-state allocation guard ------------------------------------
   // Deterministic periodic load (every node sends a 4-word message to its
@@ -647,11 +754,12 @@ int run(bool smoke, const std::string& json_path) {
   ok = ok && degraded.conservation && degraded.fault_sweep_deterministic &&
        (degraded.steady_allocs == 0 || !alloc_guard::instrumented());
 
-  write_json(json_path, smoke, compares, rate_rows, steady_allocs, sweep,
-             degraded);
+  write_json(json_path, smoke, compares, rate_rows, want_rows, steady_allocs,
+             sweep, degraded);
 
   if (!ok) {
     std::cerr << "FAIL: flat fabric diverged from the seed reference, "
+                 "a SIMD want-scan tier disagreed with the scalar prepass, "
                  "allocated in steady state, lost a packet without a drop "
                  "record, or a sweep depended on thread count\n";
     return 1;

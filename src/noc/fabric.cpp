@@ -73,9 +73,12 @@ Fabric::Fabric(const NocConfig& config)
 
   // Topology tables: downstream node per mesh output, and the XY-routing
   // decision for every (here, dst) pair. Both replace per-flit coordinate
-  // arithmetic in the hot loops with a single indexed load.
+  // arithmetic in the hot loops with a single indexed load. The XY table
+  // carries kRouteTablePad tail bytes for the SIMD gather overread; only
+  // the first nodes*nodes entries are ever addressed.
   neighbor_node_.assign(nodes * 4, -1);
-  route_table_.assign(nodes * nodes, static_cast<std::uint8_t>(kLocal));
+  route_table_.assign(nodes * nodes + kRouteTablePad,
+                      static_cast<std::uint8_t>(kLocal));
   for (int node = 0; node < n; ++node) {
     const GridCoord here = index_to_coord(node, config_.dim);
     for (int d = 0; d < 4; ++d) {
@@ -90,6 +93,24 @@ Fabric::Fabric(const NocConfig& config)
                    static_cast<std::size_t>(dst)] =
           static_cast<std::uint8_t>(
               xy_route(here, index_to_coord(dst, config_.dim)));
+  }
+
+  // SIMD arbitration prepass: active only on a vector tier (the scalar
+  // table's per-node inline computation below is already optimal, and
+  // keeping it null there leaves scalar builds byte-identical in behavior
+  // and perf). Pad ports are zeroed mirrors — they scan as want -1 and
+  // index row 0 of whichever table is live.
+  const simd::KernelTable& active = simd::kernels();
+  if (active.tier != simd::Tier::kScalar) want_kernels_ = &active;
+  ports_padded_ = static_cast<int>((ports + 7) / 8 * 8);
+  const std::size_t padded = static_cast<std::size_t>(ports_padded_);
+  want_scan_.assign(padded, 0);
+  want_base_xy_.assign(padded, 0);
+  want_base_adaptive_.assign(padded, 0);
+  for (std::size_t f = 0; f < ports; ++f) {
+    want_base_xy_[f] =
+        static_cast<int>(f / kDirectionCount) * n;  // node * nodes
+    want_base_adaptive_[f] = static_cast<int>(f) * n;
   }
 }
 
@@ -312,6 +333,18 @@ void Fabric::step() {
   // round-robin output allocation among buffered head flits.
   // renoc-hot-begin (phases 1+2 run every cycle over every router)
   planned_.clear();
+  // SIMD want[]-prepass: on a vector tier with any flit buffered, one
+  // kernel call scans every port's head-flit mirrors at once; each node's
+  // loop below then reads its slice instead of computing inline. Semantics
+  // are identical to the inline fallback (bit-exact masks, same tables).
+  const bool scanned = want_kernels_ != nullptr && buffered_flits_ > 0;
+  if (scanned) {
+    want_kernels_->noc_want_scan(
+        fifo_size_.data(), head_is_head_.data(), head_dst_.data(),
+        adaptive ? want_base_adaptive_.data() : want_base_xy_.data(),
+        adaptive ? adaptive_routes : route_table_.data(), ports_padded_,
+        want_scan_.data());
+  }
   for (int n = 0; n < n_nodes; ++n) {
     // A router with no buffered flit can plan nothing: continuations stall
     // on empty FIFOs and allocations need a head flit. (The reference
@@ -330,21 +363,27 @@ void Fabric::step() {
     // direction the turn restriction needs). An unreachable head parks
     // (want -1) — purge removes such heads at the epoch that strands them,
     // so nothing spins here.
-    int want[kDirectionCount];
-    for (int in = 0; in < kDirectionCount; ++in) {
-      const std::size_t f = base + static_cast<std::size_t>(in);
-      if (fifo_size_[f] > 0 && head_is_head_[f] != 0) {
-        const std::uint8_t out =
-            adaptive
-                ? adaptive_routes[(base + static_cast<std::size_t>(in)) *
-                                      nodes +
-                                  static_cast<std::size_t>(head_dst_[f])]
-                : route_table_[route_base +
-                               static_cast<std::size_t>(head_dst_[f])];
-        want[in] = out == kUnreachableRoute ? -1 : static_cast<int>(out);
-      } else {
-        want[in] = -1;
+    int want_local[kDirectionCount];
+    const int* want;
+    if (scanned) {
+      want = want_scan_.data() + base;
+    } else {
+      for (int in = 0; in < kDirectionCount; ++in) {
+        const std::size_t f = base + static_cast<std::size_t>(in);
+        if (fifo_size_[f] > 0 && head_is_head_[f] != 0) {
+          const std::uint8_t out =
+              adaptive
+                  ? adaptive_routes[(base + static_cast<std::size_t>(in)) *
+                                        nodes +
+                                    static_cast<std::size_t>(head_dst_[f])]
+                  : route_table_[route_base +
+                                 static_cast<std::size_t>(head_dst_[f])];
+          want_local[in] = out == kUnreachableRoute ? -1 : static_cast<int>(out);
+        } else {
+          want_local[in] = -1;
+        }
       }
+      want = want_local;
     }
     int new_allocations = 0;
     for (int o = 0; o < kDirectionCount; ++o) {
@@ -618,6 +657,10 @@ void Fabric::apply_due_faults() {
   ++route_epoch_;
   adaptive_active_ = true;
   build_adaptive_routes(config_.dim, link_up_, router_up_, adaptive_table_);
+  // Re-pad after every rebuild (build_adaptive_routes assigns the exact
+  // size): the SIMD want-scan's gather may overread up to kRouteTablePad
+  // bytes past the last entry.
+  adaptive_table_.resize(adaptive_table_.size() + kRouteTablePad, 0);
   purge_stranded_packets();
 }
 

@@ -19,7 +19,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/matrix.hpp"
+#include "util/simd.hpp"
 
 namespace renoc {
 
@@ -130,6 +132,12 @@ class SparseLdlt {
   /// property AdaptivePolicy's batched lookahead relies on).
   void solve_multi(std::vector<double>& x, int nrhs) const;
 
+  /// solve_multi through an explicit SIMD kernel table instead of the
+  /// active one — the test/bench hook that lets one binary exercise every
+  /// compiled tier (see util/simd). Tiers are bit-identical by contract.
+  void solve_multi_with(const simd::KernelTable& kernels,
+                        std::vector<double>& x, int nrhs) const;
+
   /// Streamed solve in permuted coordinates for hot loops that keep their
   /// state in elimination order (see the co-sim engine in
   /// core/thermal_runtime): y[k] holds component permutation()[k] of the
@@ -139,6 +147,11 @@ class SparseLdlt {
   /// in the last bits (~1e-15 relative; the engine's reference-agreement
   /// test pins the accumulated effect).
   void solve_permuted_in_place(double* y) const;
+
+  /// solve_permuted_in_place through an explicit SIMD kernel table (same
+  /// test/bench hook as solve_multi_with).
+  void solve_permuted_in_place_with(const simd::KernelTable& kernels,
+                                    double* y) const;
 
   /// The fill-reducing permutation in use: permutation()[k] = original
   /// index eliminated at step k.
@@ -157,8 +170,9 @@ class SparseLdlt {
   std::vector<double> inv_d_;  // 1/d_, for the streamed permuted solve
   std::vector<int> perm_;    // perm_[k] = original index at position k
   std::vector<int> iperm_;   // inverse permutation
-  mutable std::vector<double> scratch_;        // permuted rhs workspace
-  mutable std::vector<double> scratch_multi_;  // multi-RHS workspace
+  mutable std::vector<double> scratch_;      // permuted rhs workspace
+  mutable AlignedVec<double> scratch_multi_;  // multi-RHS workspace (SoA,
+                                              // lane-aligned for util/simd)
 };
 
 }  // namespace renoc

@@ -1,0 +1,105 @@
+// LDL^T triangular-sweep kernels, templated over a util/simd f64 lane
+// backend and instantiated once per tier in the util/simd_*.cpp TUs.
+//
+// Both kernels replicate the scalar loops of SparseLdlt exactly:
+//
+//   - ldlt_solve_multi vectorizes *across RHS columns* (the lanes are
+//     columns of the row-major n x w block), so each column performs the
+//     scalar solve_in_place arithmetic in the same order and stays
+//     bit-identical to a lone solve — the contract AdaptivePolicy's
+//     batched-vs-lone score guard in micro_runtime depends on.
+//   - ldlt_permuted_solve vectorizes the backward sweep's four independent
+//     accumulators; per accumulator the operand order matches the scalar
+//     4-way unrolled loop, and no tier enables FMA contraction, so the
+//     result is bit-identical across tiers.
+#pragma once
+
+#include <cstddef>
+
+namespace renoc::sparse_kernels {
+
+// renoc-hot-begin (multi-RHS and permuted triangular sweeps)
+
+template <typename F>
+void ldlt_solve_multi(const int* lp, const int* li, const double* lx,
+                      const double* d, double* y, int n, int w) {
+  constexpr int W = F::kLanes;
+  // Forward: y <- L^-1 y, row k scattered into its strictly-lower rows.
+  for (int k = 0; k < n; ++k) {
+    const double* yk = y + static_cast<std::ptrdiff_t>(k) * w;
+    for (int p = lp[k]; p < lp[k + 1]; ++p) {
+      const double l = lx[p];
+      double* yi = y + static_cast<std::ptrdiff_t>(li[p]) * w;
+      const F lv = F::set1(l);
+      int j = 0;
+      for (; j + W <= w; j += W) {
+        F::storeu(yi + j,
+                  F::sub(F::loadu(yi + j), F::mul(lv, F::loadu(yk + j))));
+      }
+      for (; j < w; ++j) yi[j] -= l * yk[j];
+    }
+  }
+  // Diagonal: y <- D^-1 y.
+  for (int k = 0; k < n; ++k) {
+    const double dk = d[k];
+    double* yk = y + static_cast<std::ptrdiff_t>(k) * w;
+    const F dv = F::set1(dk);
+    int j = 0;
+    for (; j + W <= w; j += W) F::storeu(yk + j, F::div(F::loadu(yk + j), dv));
+    for (; j < w; ++j) yk[j] /= dk;
+  }
+  // Backward: y <- L^-T y.
+  for (int k = n - 1; k >= 0; --k) {
+    double* yk = y + static_cast<std::ptrdiff_t>(k) * w;
+    for (int p = lp[k]; p < lp[k + 1]; ++p) {
+      const double l = lx[p];
+      const double* yi = y + static_cast<std::ptrdiff_t>(li[p]) * w;
+      const F lv = F::set1(l);
+      int j = 0;
+      for (; j + W <= w; j += W) {
+        F::storeu(yk + j,
+                  F::sub(F::loadu(yk + j), F::mul(lv, F::loadu(yi + j))));
+      }
+      for (; j < w; ++j) yk[j] -= l * yi[j];
+    }
+  }
+}
+
+template <typename F>
+void ldlt_permuted_solve(const int* lp, const int* li, const double* lx,
+                         const double* inv_d, double* y, int n) {
+  constexpr int W = F::kLanes;
+  static_assert(W >= 1 && W <= 4 && 4 % W == 0,
+                "backward sweep packs 4 accumulators into 4/W registers");
+  constexpr int K = 4 / W;
+  // Forward: y <- L^-1 y.
+  for (int k = 0; k < n; ++k) {
+    const double yk = y[k];
+    for (int p = lp[k]; p < lp[k + 1]; ++p) y[li[p]] -= lx[p] * yk;
+  }
+  // Fused D^-1 + backward L^T sweep: the scalar loop's four independent
+  // accumulators a0..a3 become K vectors of W lanes; lane j of vector r is
+  // exactly the scalar accumulator a[r*W + j], fed by the same operands in
+  // the same order. Remainder entries fold into accumulator 0, and the
+  // final reduction keeps the scalar's (a0+a1)+(a2+a3) association.
+  for (int k = n - 1; k >= 0; --k) {
+    const int p1 = lp[k + 1];
+    F acc[K];
+    for (int reg = 0; reg < K; ++reg) acc[reg] = F::zero();
+    int p = lp[k];
+    for (; p + 3 < p1; p += 4) {
+      for (int reg = 0; reg < K; ++reg) {
+        acc[reg] = F::add(acc[reg], F::mul(F::loadu(lx + p + reg * W),
+                                           F::gather(y, li + p + reg * W)));
+      }
+    }
+    double a[4];
+    for (int reg = 0; reg < K; ++reg) F::storeu(a + reg * W, acc[reg]);
+    for (; p < p1; ++p) a[0] += lx[p] * y[li[p]];
+    y[k] = y[k] * inv_d[k] - ((a[0] + a[1]) + (a[2] + a[3]));
+  }
+}
+
+// renoc-hot-end
+
+}  // namespace renoc::sparse_kernels

@@ -131,6 +131,28 @@ TEST(BerHarnessTest, MoreThreadsThanJobsIsFine) {
   expect_points_equal(run_ber_sweep(f.code, f.encoder, cfg), many);
 }
 
+TEST(BerHarnessTest, CountsIndependentOfBatchWidth) {
+  // Batched decoding is a pure throughput knob: every lane is bit-identical
+  // to a scalar decode and the job->stream mapping ignores batching, so any
+  // (batch_size, threads) combination must reproduce the serial counts —
+  // including widths that do not divide the job count (tail batches) and
+  // batches that straddle the Eb/N0-point boundary.
+  const BerFixture f;
+  BerConfig cfg = small_config();
+  cfg.threads = 1;
+  cfg.batch_size = 1;
+  const auto serial = run_ber_sweep(f.code, f.encoder, cfg);
+  for (const int batch : {3, 4, 8}) {
+    for (const int threads : {1, 2, 4}) {
+      cfg.batch_size = batch;
+      cfg.threads = threads;
+      SCOPED_TRACE("batch " + std::to_string(batch) + " threads " +
+                   std::to_string(threads));
+      expect_points_equal(serial, run_ber_sweep(f.code, f.encoder, cfg));
+    }
+  }
+}
+
 TEST(BerHarnessTest, ValidatesConfig) {
   const BerFixture f;
   BerConfig cfg = small_config();
@@ -144,6 +166,12 @@ TEST(BerHarnessTest, ValidatesConfig) {
   EXPECT_THROW(run_ber_sweep(f.code, f.encoder, cfg), CheckError);
   cfg = small_config();
   cfg.iterations = 0;
+  EXPECT_THROW(run_ber_sweep(f.code, f.encoder, cfg), CheckError);
+  cfg = small_config();
+  cfg.batch_size = 0;
+  EXPECT_THROW(run_ber_sweep(f.code, f.encoder, cfg), CheckError);
+  cfg = small_config();
+  cfg.batch_size = 65;
   EXPECT_THROW(run_ber_sweep(f.code, f.encoder, cfg), CheckError);
 }
 

@@ -275,6 +275,47 @@ TEST(RouteRebuildTest, SuppressibleWithJustification) {
   EXPECT_TRUE(lint_source("src/noc/fabric2.cpp", src).empty());
 }
 
+// --- simd-intrinsics -------------------------------------------------------
+
+TEST(SimdIntrinsicsTest, BansRawIntrinsicsOutsideUtilSimd) {
+  const std::string src = R"cpp(#include <immintrin.h>
+__m256i v = _mm256_set1_epi32(1);
+__m128d w;
+auto x = _mm_add_pd(w, w);
+)cpp";
+  const auto findings = lint_source("src/ldpc/decoder.cpp", src);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"simd-intrinsics", "simd-intrinsics",
+                                      "simd-intrinsics", "simd-intrinsics"}));
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("intrin.h"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 2);
+
+  // The rule applies everywhere renoc_lint walks, not only src/.
+  EXPECT_EQ(lint_source("bench/micro_ldpc.cpp", src).size(), 4u);
+  EXPECT_EQ(lint_source("tests/simd_test.cpp", src).size(), 4u);
+
+  // util/simd* is the sanctioned home: header, dispatch, and tier TUs.
+  EXPECT_TRUE(lint_source("src/util/simd.hpp", src).empty());
+  EXPECT_TRUE(lint_source("src/util/simd_avx2.cpp", src).empty());
+}
+
+TEST(SimdIntrinsicsTest, IgnoresMentionsThatAreNotIntrinsics) {
+  const std::string src = R"cpp(// _mm256_add_epi32 is wrapped by lanes::I32
+auto s = "_mm_add_pd in a string";
+int comm_mm_total = 0;
+double x86_intrin_help = 0;  // no include, no token
+)cpp";
+  EXPECT_TRUE(lint_source("src/ldpc/decoder.cpp", src).empty());
+}
+
+TEST(SimdIntrinsicsTest, SuppressibleWithJustification) {
+  const std::string src =
+      "__m256i v;  "
+      "// renoc-lint-allow(simd-intrinsics): doc example, never compiled\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
 // --- todo-tag --------------------------------------------------------------
 
 TEST(TodoTagTest, RequiresIssueTagOnDeferredWorkMarkers) {

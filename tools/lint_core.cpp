@@ -22,7 +22,7 @@ constexpr std::string_view kAllowMarker = "renoc-lint-allow";
 const std::set<std::string, std::less<>>& suppressible_rules() {
   static const std::set<std::string, std::less<>> rules = {
       "hot-alloc", "raw-random", "ring-modulo", "engine-unordered-map",
-      "route-rebuild", "todo-tag"};
+      "route-rebuild", "simd-intrinsics", "todo-tag"};
   return rules;
 }
 
@@ -42,6 +42,16 @@ bool contains_word(std::string_view text, std::string_view word) {
   for (std::size_t pos = text.find(word); pos != std::string_view::npos;
        pos = text.find(word, pos + 1)) {
     if (word_at(text, pos, word.size())) return true;
+  }
+  return false;
+}
+
+/// Occurrence of `prefix` starting at a word boundary (the right side is
+/// free: intrinsic families like _mm256_ are matched as prefixes).
+bool contains_word_prefix(std::string_view text, std::string_view prefix) {
+  for (std::size_t pos = text.find(prefix); pos != std::string_view::npos;
+       pos = text.find(prefix, pos + 1)) {
+    if (pos == 0 || !is_word_char(text[pos - 1])) return true;
   }
   return false;
 }
@@ -101,6 +111,7 @@ struct FileScope {
   bool in_src = false;       ///< shipped library code
   bool rng_impl = false;     ///< util/rng itself: the one home for raw bits
   bool engine_dir = false;   ///< src/noc or src/ldpc flat engines
+  bool simd_home = false;    ///< util/simd*: the one home for raw intrinsics
 };
 
 FileScope classify(std::string_view path) {
@@ -109,6 +120,7 @@ FileScope classify(std::string_view path) {
   s.in_src = path_in(path, "src/");
   s.rng_impl = path.find("util/rng.") != std::string_view::npos;
   s.engine_dir = path_in(path, "src/noc/") || path_in(path, "src/ldpc/");
+  s.simd_home = path.find("util/simd") != std::string_view::npos;
   return s;
 }
 
@@ -147,6 +159,14 @@ constexpr std::string_view kRingWords[] = {"head", "tail", "cursor", "ring",
                                            "fifo"};
 
 constexpr std::string_view kRawRandomCalls[] = {"rand", "srand", "time"};
+
+/// Vector-intrinsic vocabulary. Raw intrinsics (and their headers) are
+/// confined to util/simd*, which wraps them behind the fixed-width lane
+/// types and the per-tier kernel tables; anywhere else they silently tie a
+/// TU to one instruction set and bypass the runtime dispatch. Families are
+/// matched as word-boundary prefixes (_mm256_add_epi32, __m128i, ...).
+constexpr std::string_view kIntrinsicPrefixes[] = {
+    "_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512"};
 
 /// Topology-change-epoch operations: O(N^2) route-table rebuilds (and the
 /// packet purge that follows one). Legal in the cold fault-application
@@ -390,6 +410,21 @@ std::vector<Finding> lint_source(std::string_view path,
              "'" + token +
                  "' bypasses util/rng; all randomness must flow through "
                  "seeded SplitMix64 streams so sweeps replay bit-exactly");
+    }
+
+    if (!scope.simd_home && !is_allowed(lineno, "simd-intrinsics")) {
+      std::string token;
+      if (code_line.find("intrin.h>") != std::string::npos)
+        token = "an <*intrin.h> include";
+      for (const std::string_view p : kIntrinsicPrefixes)
+        if (token.empty() && contains_word_prefix(code_line, p))
+          token = "'" + std::string(p) + "...'";
+      if (!token.empty())
+        emit(lineno, "simd-intrinsics",
+             token +
+                 " outside util/simd: raw vector intrinsics bypass the lane "
+                 "abstraction and runtime tier dispatch; add a kernel to the "
+                 "util/simd tables instead");
     }
 
     if (scope.in_src && !scope.reference &&
