@@ -16,7 +16,6 @@
 //
 // --smoke / --json: see bench/paper_bench.hpp; emits PAPER_adaptive.json.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -38,8 +37,8 @@ int run(const bench::PaperArgs& args) {
   t.set_title("Adaptive migration-function selection vs fixed schemes (" +
               std::to_string(periods) + " periods, settled peak)");
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("adaptive_policy");
   json.key("smoke").boolean(args.smoke);
@@ -110,6 +109,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
 
   t.print(std::cout);
   std::cout << "\nOrbit-average selection lands on (or near) the best fixed "

@@ -19,7 +19,6 @@
 //
 // --smoke / --json: see bench/paper_bench.hpp; emits PAPER_dtm.json.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 
 #include "core/dtm_baselines.hpp"
@@ -38,8 +37,8 @@ int run(const bench::PaperArgs& args) {
   t.set_title(
       "Equal-peak comparison: runtime reconfiguration vs chip-wide DTM");
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("dtm_comparison");
   json.key("smoke").boolean(args.smoke);
@@ -105,6 +104,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
 
   t.print(std::cout);
   std::cout << "\nMigration reaches the same peak for a few percent of "

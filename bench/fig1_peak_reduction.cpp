@@ -11,7 +11,6 @@
 // throughput cost at the default period).
 //
 // --smoke / --json: see bench/paper_bench.hpp; emits PAPER_fig1.json.
-#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -41,8 +40,8 @@ int run(const bench::PaperArgs& args) {
   std::map<MigrationScheme, RunningStats> reduction_stats;
   std::map<MigrationScheme, RunningStats> mean_temp_delta;
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("fig1_peak_reduction");
   json.key("smoke").boolean(args.smoke);
@@ -140,6 +139,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
   std::cout << "\n";
   averages.print(std::cout);
   std::cout << "\nwrote " << args.json_path << "\n";

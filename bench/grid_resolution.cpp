@@ -26,7 +26,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <thread>
 
@@ -89,8 +88,8 @@ int run(const bench::PaperArgs& args) {
       "Thermal resolution ablation, configuration A (orbit-average "
       "steady peaks + migrating co-simulation)");
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("grid_resolution");
   json.key("smoke").boolean(args.smoke);
@@ -155,6 +154,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
 
   res.print(std::cout);
   std::cout << "\nThe block model (refine=1) and the refined grids must "

@@ -20,7 +20,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <new>
 #include <string>
@@ -28,6 +27,7 @@
 
 #include "bench_timing.hpp"
 #include "core/transform.hpp"
+#include "sweep_guard.hpp"
 #include "util/json.hpp"
 #include "ldpc/ber_harness.hpp"
 #include "ldpc/channel.hpp"
@@ -312,13 +312,10 @@ void write_json(const std::string& path, bool smoke,
                 const std::vector<GoldenRow>& golden,
                 const std::vector<BatchTierRow>& batch, const NocRow& noc,
                 const BerScaling& ber, const BerBatch& ber_batch,
-                const BerConfig& ber_cfg) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  JsonWriter json(out);
+                const BerConfig& ber_cfg,
+                const bench::ServiceGuardResult& service) {
+  AtomicFile out(path);
+  JsonWriter json(out.stream());
   json.begin_object();
   json.key("bench").string("micro_ldpc");
   json.key("smoke").boolean(smoke);
@@ -385,7 +382,9 @@ void write_json(const std::string& path, bool smoke,
   }
   json.end_array();
   json.end_object();
+  bench::write_service_guard_json(json, service);
   json.end_object();
+  out.commit();
   std::printf("\nwrote %s\n", path.c_str());
 }
 
@@ -482,13 +481,37 @@ int run(bool smoke, const std::string& json_path) {
   batch_width_table.print(std::cout);
   ok = ok && ber_batch.deterministic;
 
+  // --- Sweep service guards ---------------------------------------------
+  // The BER sweep through util/sweep: shard splits and a kill/resume cycle
+  // must merge to the exact counts the direct sweep produced.
+  BerConfig svc_cfg = cfg;
+  svc_cfg.blocks_per_point = smoke ? 8 : 24;
+  const sweep::SweepSpec svc_spec =
+      make_ber_sweep_spec(f.code, f.encoder, svc_cfg);
+  const bench::ServiceGuardResult service =
+      bench::run_service_guard(svc_spec, "bench_ldpc_sweep_ckpt");
+  Table service_table(
+      {"scenarios", "resumed", "shard identity", "resume identity",
+       "conserved"});
+  service_table.set_title(
+      "Sweep service (BER spec): shard merges and checkpoint resume must "
+      "be bit-identical to the direct run");
+  service_table.add_row({std::to_string(service.scenarios),
+                         std::to_string(service.resumed),
+                         service.shard_identity ? "yes" : "NO",
+                         service.resume_identity ? "yes" : "NO",
+                         service.conserved ? "yes" : "NO"});
+  service_table.print(std::cout);
+  ok = ok && service.ok();
+
   write_json(json_path, smoke, golden_rows, batch_rows, noc, ber, ber_batch,
-             cfg);
+             cfg, service);
 
   if (!ok) {
     std::cerr << "FAIL: flat or batched decode diverged from the golden "
-                 "semantics, allocated in steady state, or the BER sweep "
-                 "depended on thread count or batch width\n";
+                 "semantics, allocated in steady state, the BER sweep "
+                 "depended on thread count or batch width, or the sweep "
+                 "service broke shard/resume identity\n";
     return 1;
   }
   return 0;

@@ -23,7 +23,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <new>
 #include <string>
@@ -37,6 +36,7 @@
 #include "noc/routing.hpp"
 #include "noc/sweep_harness.hpp"
 #include "noc/traffic.hpp"
+#include "sweep_guard.hpp"
 #include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -376,13 +376,10 @@ void write_json(const std::string& path, bool smoke,
                 const std::vector<RateRow>& rates,
                 const std::vector<WantScanRow>& want_scan,
                 long long steady_allocs, const SweepGuard& sweep,
-                const DegradedGuard& degraded) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  JsonWriter json(out);
+                const DegradedGuard& degraded,
+                const bench::ServiceGuardResult& service) {
+  AtomicFile out(path);
+  JsonWriter json(out.stream());
   json.begin_object();
   json.key("bench").string("micro_noc");
   json.key("smoke").boolean(smoke);
@@ -449,7 +446,9 @@ void write_json(const std::string& path, bool smoke,
   json.key("duplicates_suppressed").uinteger(degraded.duplicates);
   json.key("route_epochs").integer(degraded.route_epochs);
   json.end_object();
+  bench::write_service_guard_json(json, service);
   json.end_object();
+  out.commit();
   std::printf("\nwrote %s\n", path.c_str());
 }
 
@@ -754,14 +753,46 @@ int run(bool smoke, const std::string& json_path) {
   ok = ok && degraded.conservation && degraded.fault_sweep_deterministic &&
        (degraded.steady_allocs == 0 || !alloc_guard::instrumented());
 
+  // --- Sweep service guards ---------------------------------------------
+  // The NoC sweep through util/sweep: shard splits and a kill/resume cycle
+  // must merge to the exact points the direct sweep produced.
+  SweepConfig svc_cfg;
+  svc_cfg.patterns = {TrafficPattern::kUniformRandom,
+                      TrafficPattern::kTranspose};
+  svc_cfg.mesh_sides = {4};
+  svc_cfg.injection_rates = {0.05, 0.15, 0.25};
+  svc_cfg.message_words = {4};
+  svc_cfg.fault_counts = {0, 2};
+  svc_cfg.retry_budgets = {3};
+  svc_cfg.warmup_cycles = smoke ? 100 : 300;
+  svc_cfg.measure_cycles = smoke ? 300 : 1000;
+  svc_cfg.seed = 99;
+  const sweep::SweepSpec svc_spec = make_noc_sweep_spec(svc_cfg);
+  const bench::ServiceGuardResult service =
+      bench::run_service_guard(svc_spec, "bench_noc_sweep_ckpt");
+  Table service_table(
+      {"scenarios", "resumed", "shard identity", "resume identity",
+       "conserved"});
+  service_table.set_title(
+      "Sweep service (NoC spec): shard merges and checkpoint resume must "
+      "be bit-identical to the direct run");
+  service_table.add_row({std::to_string(service.scenarios),
+                         std::to_string(service.resumed),
+                         service.shard_identity ? "yes" : "NO",
+                         service.resume_identity ? "yes" : "NO",
+                         service.conserved ? "yes" : "NO"});
+  service_table.print(std::cout);
+  ok = ok && service.ok();
+
   write_json(json_path, smoke, compares, rate_rows, want_rows, steady_allocs,
-             sweep, degraded);
+             sweep, degraded, service);
 
   if (!ok) {
     std::cerr << "FAIL: flat fabric diverged from the seed reference, "
                  "a SIMD want-scan tier disagreed with the scalar prepass, "
                  "allocated in steady state, lost a packet without a drop "
-                 "record, or a sweep depended on thread count\n";
+                 "record, a sweep depended on thread count, or the sweep "
+                 "service broke shard/resume identity\n";
     return 1;
   }
   return 0;

@@ -23,7 +23,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <new>
 #include <string>
@@ -31,6 +30,7 @@
 
 #include "bench_timing.hpp"
 #include "core/adaptive_policy.hpp"
+#include "sweep_guard.hpp"
 #include "util/json.hpp"
 #include "core/experiment_sweep.hpp"
 #include "core/reference_runtime.hpp"
@@ -315,13 +315,10 @@ SweepScaling run_sweep_scaling(bool smoke, double budget_ms) {
 void write_json(const std::string& path, bool smoke,
                 const std::vector<CosimRow>& cosim,
                 const std::vector<SolveTierRow>& solve,
-                const PolicyRow& policy, const SweepScaling& sweep) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  JsonWriter json(out);
+                const PolicyRow& policy, const SweepScaling& sweep,
+                const bench::ServiceGuardResult& service) {
+  AtomicFile out(path);
+  JsonWriter json(out.stream());
   json.begin_object();
   json.key("bench").string("micro_runtime");
   json.key("smoke").boolean(smoke);
@@ -377,7 +374,9 @@ void write_json(const std::string& path, bool smoke,
   }
   json.end_array();
   json.end_object();
+  bench::write_service_guard_json(json, service);
   json.end_object();
+  out.commit();
   std::printf("\nwrote %s\n", path.c_str());
 }
 
@@ -458,14 +457,45 @@ int run(bool smoke, const std::string& json_path) {
   sweep_table.print(std::cout);
   ok = ok && sweep.deterministic && sweep.replay_ok;
 
-  write_json(json_path, smoke, cosim_rows, solve_rows, policy, sweep);
+  // --- Sweep service guards ---------------------------------------------
+  // The experiment sweep through util/sweep: shard splits and a
+  // kill/resume cycle must merge to the exact points the direct run
+  // produced.
+  ExperimentSweepConfig svc_cfg;
+  svc_cfg.schemes = {MigrationScheme::kNone, MigrationScheme::kRotation};
+  svc_cfg.periods_s = {109.3e-6};
+  svc_cfg.power_scales = {1.0, 1.25};
+  svc_cfg.refines = {1};
+  svc_cfg.thermal.min_orbits = 1;
+  svc_cfg.thermal.max_orbits = smoke ? 2 : 4;
+  svc_cfg.thermal.tol_c = 0.5;
+  svc_cfg.seed = 1234;
+  const sweep::SweepSpec svc_spec = make_experiment_sweep_spec(svc_cfg);
+  const bench::ServiceGuardResult service =
+      bench::run_service_guard(svc_spec, "bench_runtime_sweep_ckpt");
+  Table service_table(
+      {"scenarios", "resumed", "shard identity", "resume identity",
+       "conserved"});
+  service_table.set_title(
+      "Sweep service (experiment spec): shard merges and checkpoint "
+      "resume must be bit-identical to the direct run");
+  service_table.add_row({std::to_string(service.scenarios),
+                         std::to_string(service.resumed),
+                         service.shard_identity ? "yes" : "NO",
+                         service.resume_identity ? "yes" : "NO",
+                         service.conserved ? "yes" : "NO"});
+  service_table.print(std::cout);
+  ok = ok && service.ok();
+
+  write_json(json_path, smoke, cosim_rows, solve_rows, policy, sweep,
+             service);
 
   if (!ok) {
     std::cerr << "FAIL: engine diverged from the reference runtime, "
                  "allocated in steady state, a SIMD tier's triangular sweep "
                  "was not bit-identical to scalar, batched lookahead scores "
-                 "drifted, or the experiment sweep depended on thread "
-                 "count\n";
+                 "drifted, the experiment sweep depended on thread count, "
+                 "or the sweep service broke shard/resume identity\n";
     return 1;
   }
   return 0;

@@ -21,7 +21,6 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -139,12 +138,8 @@ RowResult run_row(Table& table, int refine, double budget_ms) {
 
 void write_json(const std::string& path, bool smoke,
                 const std::vector<RowResult>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  JsonWriter json(out);
+  AtomicFile out(path);
+  JsonWriter json(out.stream());
   json.begin_object();
   json.key("bench").string("micro_thermal");
   json.key("smoke").boolean(smoke);
@@ -168,6 +163,7 @@ void write_json(const std::string& path, bool smoke,
   }
   json.end_array();
   json.end_object();
+  out.commit();
   std::printf("\nwrote %s\n", path.c_str());
 }
 

@@ -17,7 +17,6 @@
 // --smoke / --json: see bench/paper_bench.hpp; emits PAPER_phases.json.
 // Every cycle/flit count here is deterministic, so the golden pins them
 // exactly.
-#include <fstream>
 #include <iostream>
 
 #include "core/migration_controller.hpp"
@@ -62,8 +61,8 @@ int run(const bench::PaperArgs& args) {
            "Analytic bound", "Naive (cyc)", "Phased det.", "Naive det."});
   t.set_title("Congestion-free phased migration vs naive all-at-once");
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("migration_phases");
   json.key("smoke").boolean(args.smoke);
@@ -129,6 +128,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
 
   t.print(std::cout);
   std::cout << "\nPhased latency must never exceed the analytic bound — "

@@ -13,7 +13,6 @@
 //
 // --smoke / --json: see bench/paper_bench.hpp; emits PAPER_noc.json.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <thread>
 
@@ -44,8 +43,8 @@ int run(const bench::PaperArgs& args) {
   sweep.seed = 42;
   const std::vector<SweepPoint> points = run_noc_sweep(sweep);
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("noc_characterization");
   json.key("smoke").boolean(args.smoke);
@@ -76,6 +75,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
 
   // points are pattern-major, then mesh side, then rate: rebuild the
   // per-mesh latency tables from the flat grid.

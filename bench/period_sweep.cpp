@@ -17,7 +17,6 @@
 // with interleaved migrations.
 //
 // --smoke / --json: see bench/paper_bench.hpp; emits PAPER_period.json.
-#include <fstream>
 #include <iostream>
 #include <iterator>
 
@@ -41,8 +40,8 @@ int run(const bench::PaperArgs& args) {
       "Section 3 period sweep — paper: 109.3 us -> 1.6%; 437.2 us -> <0.4%, "
       "peak +<0.1 C; 874.4 us -> <0.2%");
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("period_sweep");
   json.key("smoke").boolean(args.smoke);
@@ -110,6 +109,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
 
   sweep.print(std::cout);
   std::cout << "\nNote: peak-vs-1-block shows how little the peak grows as "

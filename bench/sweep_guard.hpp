@@ -1,0 +1,118 @@
+// Shared sweep-service guard for the micro benches (micro_ldpc, micro_noc,
+// micro_runtime): one definition so all three BENCH_*.json records pin the
+// same three invariants of util/sweep against their harness's spec:
+//
+//   * shard identity  — the merge of a {2, 4}-way stride split is
+//     bit-identical (scenario, outcome, and every record word) to the
+//     single-shard run;
+//   * resume identity — a run killed at a checkpoint boundary, resumed,
+//     and merged from its segments is bit-identical to a run that never
+//     crashed;
+//   * conservation    — every merge resolves each enumerated scenario as
+//     exactly one of completed/failed/skipped, and a completed resume
+//     leaves nothing skipped.
+//
+// A violated invariant fails the bench binary (nonzero exit), the same
+// contract as the engine bit-exactness guards.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/sweep.hpp"
+
+namespace renoc::bench {
+
+struct ServiceGuardResult {
+  std::int64_t scenarios = 0;
+  std::int64_t resumed = 0;  ///< records recovered from checkpoints on resume
+  bool shard_identity = true;
+  bool resume_identity = true;
+  bool conserved = true;
+
+  bool ok() const { return shard_identity && resume_identity && conserved; }
+};
+
+inline bool records_equal(const std::vector<sweep::ScenarioRecord>& a,
+                          const std::vector<sweep::ScenarioRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].scenario != b[i].scenario || a[i].outcome != b[i].outcome ||
+        a[i].words != b[i].words)
+      return false;
+  }
+  return true;
+}
+
+/// Runs the guard against `spec`. `ckpt_dir` is a scratch directory for
+/// the kill/resume leg (removed before and after).
+inline ServiceGuardResult run_service_guard(const sweep::SweepSpec& spec,
+                                            const std::string& ckpt_dir) {
+  namespace fs = std::filesystem;
+  ServiceGuardResult r;
+  r.scenarios = spec.enumerated;
+
+  // Baseline: one shard, no checkpointing.
+  const std::vector<sweep::ScenarioRecord> baseline =
+      sweep::run_sweep_shard(spec, sweep::ShardRunOptions{}).records;
+
+  // Shard identity: any N-way stride split merges to the same bits.
+  for (const int shards : {2, 4}) {
+    std::vector<std::vector<sweep::ScenarioRecord>> parts;
+    for (int s = 0; s < shards; ++s) {
+      sweep::ShardRunOptions opt;
+      opt.shard = sweep::Shard{s, shards};
+      parts.push_back(sweep::run_sweep_shard(spec, opt).records);
+    }
+    const sweep::MergeResult merged =
+        sweep::merge_shard_records(spec.enumerated, parts);
+    r.conserved = r.conserved && merged.counts.conserved() &&
+                  merged.counts.skipped == 0;
+    if (!records_equal(baseline, merged.records)) r.shard_identity = false;
+  }
+
+  // Resume identity: kill mid-run at a checkpoint boundary (stop_after
+  // abandons the run with no tail flush, exactly as a SIGKILL would),
+  // rerun, and merge from the segment store.
+  fs::remove_all(ckpt_dir);
+  sweep::ShardRunOptions killed;
+  killed.checkpoint.directory = ckpt_dir;
+  killed.checkpoint.tag = "guard";
+  // Period sized so the killed half-run has flushed at least one segment —
+  // the resume leg must actually recover records, not start from zero.
+  killed.checkpoint.every =
+      static_cast<int>(std::max<std::int64_t>(1, spec.enumerated / 4));
+  killed.stop_after = spec.enumerated / 2;
+  sweep::run_sweep_shard(spec, killed);
+
+  sweep::ShardRunOptions resume = killed;
+  resume.stop_after = -1;
+  r.resumed = sweep::run_sweep_shard(spec, resume).resumed;
+
+  const sweep::MergeResult merged =
+      sweep::merge_checkpoints(spec, killed.checkpoint, 1);
+  r.conserved = r.conserved && merged.counts.conserved() &&
+                merged.counts.skipped == 0;
+  if (!records_equal(baseline, merged.records)) r.resume_identity = false;
+  fs::remove_all(ckpt_dir);
+  return r;
+}
+
+/// The "sweep_service" block of a BENCH_*.json record (shared so all
+/// three micro benches emit the same shape).
+inline void write_service_guard_json(JsonWriter& json,
+                                     const ServiceGuardResult& r) {
+  json.key("sweep_service").begin_object();
+  json.key("scenarios").integer(r.scenarios);
+  json.key("resumed").integer(r.resumed);
+  json.key("shard_identity").boolean(r.shard_identity);
+  json.key("resume_identity").boolean(r.resume_identity);
+  json.key("conserved").boolean(r.conserved);
+  json.end_object();
+}
+
+}  // namespace renoc::bench

@@ -16,7 +16,6 @@
 // Timing fields carry the _ms suffix, so the golden diff checks only the
 // formula-verification counts and the table text.
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -167,8 +166,8 @@ int run(const bench::PaperArgs& args) {
                               2)});
   micro.print(std::cout);
 
-  std::ofstream json_out(args.json_path);
-  JsonWriter json(json_out);
+  AtomicFile json_file(args.json_path);
+  JsonWriter json(json_file.stream());
   json.begin_object();
   json.key("bench").string("table1_transforms");
   json.key("smoke").boolean(args.smoke);
@@ -188,6 +187,7 @@ int run(const bench::PaperArgs& args) {
   }
   json.end_array();
   json.end_object();
+  json_file.commit();
   std::cout << "\nwrote " << args.json_path << "\n";
   return 0;
 }

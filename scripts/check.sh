@@ -15,8 +15,13 @@
 # tolerance-checked, *_ms timing skipped).
 # The Release pass also runs renoc_lint over the tree (repo invariants:
 # hot-region allocations, raw randomness, ring-buffer modulo, engine hash
-# maps, route-table rebuilds in hot regions, untagged deferred-work
-# markers — see tools/lint_core.hpp).
+# maps, route-table rebuilds in hot regions, non-atomic artifact writes,
+# untagged deferred-work markers — see tools/lint_core.hpp) and a
+# sweep-resume smoke: the renoc_sweep driver runs the NoC smoke sweep
+# uninterrupted, then sharded with an injected mid-run crash (supervisor
+# retries the dead shard and resumes from its checkpoint segments), and
+# renoc_golden_diff must find the two artifacts identical outside the
+# run-specific "driver" block.
 # Usage: scripts/check.sh [--skip-bench-smoke] [--sanitize=<kind>]
 #                         [extra cmake args...]
 # (flags may appear in any argument position)
@@ -110,6 +115,18 @@ for config in Debug Release; do
       --json "${build_dir}/BENCH_runtime.json"
   fi
   if [[ "${bench_smoke}" == 1 && "${config}" == "Release" ]]; then
+    echo "== ${config}: sweep-resume smoke (crash, retry, resume, diff) =="
+    rm -rf "${build_dir}/ckpt-check-baseline" "${build_dir}/ckpt-check-crash"
+    "${build_dir}/tools/renoc_sweep" --harness noc --preset smoke \
+      --shards 1 --ckpt-dir "${build_dir}/ckpt-check-baseline" \
+      --out "${build_dir}/SWEEP_noc_baseline.json"
+    "${build_dir}/tools/renoc_sweep" --harness noc --preset smoke \
+      --shards 4 --checkpoint-every 2 --inject-crash 1:1 \
+      --ckpt-dir "${build_dir}/ckpt-check-crash" \
+      --out "${build_dir}/SWEEP_noc_crashed.json"
+    "${build_dir}/tools/renoc_golden_diff" --skip driver \
+      "${build_dir}/SWEEP_noc_baseline.json" \
+      "${build_dir}/SWEEP_noc_crashed.json"
     echo "== ${config}: paper figures (smoke) vs goldens/ =="
     for entry in "${paper_benches[@]}"; do
       name="${entry%%:*}"

@@ -1,9 +1,6 @@
 #include "core/experiment_sweep.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <memory>
 
 #include "thermal/grid_refine.hpp"
 #include "util/check.hpp"
@@ -43,11 +40,12 @@ void ExperimentSweepConfig::validate() const {
   RENOC_CHECK_MSG(dim.width >= 1 && dim.height >= 1, "bad tile grid");
   RENOC_CHECK_MSG(tile_area > 0, "tile area must be positive");
   hotspot.validate();
-  RENOC_CHECK_MSG(!schemes.empty(), "sweep needs at least one scheme");
-  RENOC_CHECK_MSG(!periods_s.empty(), "sweep needs at least one period");
-  RENOC_CHECK_MSG(!power_scales.empty(),
-                  "sweep needs at least one power scale");
-  RENOC_CHECK_MSG(!refines.empty(), "sweep needs at least one refinement");
+  // Axis and thread checks come from util/sweep so all three harnesses
+  // fail with the same pinned messages (sweep_test asserts on them).
+  sweep::require_axis(!schemes.empty(), "scheme");
+  sweep::require_axis(!periods_s.empty(), "period");
+  sweep::require_axis(!power_scales.empty(), "power scale");
+  sweep::require_axis(!refines.empty(), "refinement");
   for (const MigrationScheme s : schemes)
     if (s == MigrationScheme::kRotation)
       RENOC_CHECK_MSG(dim.width == dim.height,
@@ -73,24 +71,32 @@ void ExperimentSweepConfig::validate() const {
                   "power jitter must be in [0, 1), got " << power_jitter);
   RENOC_CHECK_MSG(migration_energy_j >= 0,
                   "migration energy must be non-negative");
-  RENOC_CHECK(threads >= 1);
+  sweep::require_threads(threads);
 }
 
 std::vector<ExperimentScenario> ExperimentSweepConfig::scenarios() const {
+  // Enumerate through the shared row-major index decoder (scheme-major,
+  // refinement innermost — byte-identical to the nested loops this
+  // replaced), so a scenario index means the same cell here, in the
+  // service's shards, and in any replay.
+  const std::vector<std::int64_t> shape = {
+      static_cast<std::int64_t>(schemes.size()),
+      static_cast<std::int64_t>(periods_s.size()),
+      static_cast<std::int64_t>(power_scales.size()),
+      static_cast<std::int64_t>(refines.size())};
+  const std::int64_t total = sweep::axis_product(shape);
   std::vector<ExperimentScenario> out;
-  out.reserve(schemes.size() * periods_s.size() * power_scales.size() *
-              refines.size());
-  for (const MigrationScheme scheme : schemes)
-    for (const double period : periods_s)
-      for (const double scale : power_scales)
-        for (const int refine : refines) {
-          ExperimentScenario sc;
-          sc.scheme = scheme;
-          sc.period_s = period;
-          sc.power_scale = scale;
-          sc.refine = refine;
-          out.push_back(sc);
-        }
+  out.reserve(static_cast<std::size_t>(total));
+  std::vector<std::int64_t> d;
+  for (std::int64_t i = 0; i < total; ++i) {
+    sweep::decode_scenario_index(i, shape, d);
+    ExperimentScenario sc;
+    sc.scheme = schemes[static_cast<std::size_t>(d[0])];
+    sc.period_s = periods_s[static_cast<std::size_t>(d[1])];
+    sc.power_scale = power_scales[static_cast<std::size_t>(d[2])];
+    sc.refine = refines[static_cast<std::size_t>(d[3])];
+    out.push_back(sc);
+  }
   return out;
 }
 
@@ -187,45 +193,130 @@ std::vector<ExperimentSweepPoint> run_experiment_sweep(
   const std::vector<ExperimentScenario> grid = cfg.scenarios();
   std::vector<ExperimentSweepPoint> results(grid.size());
 
-  // Scenario-level parallelism: each scenario is co-simulated end to end
-  // by one worker into its preassigned slot, so the merge is the identity
-  // and any schedule yields identical results. A scenario failure (e.g. a
-  // singular factorization from a pathological config) is captured and
-  // rethrown after the join — an exception escaping a worker thread would
-  // std::terminate the process.
-  std::atomic<int> cursor{0};
-  std::atomic<bool> abort{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    for (;;) {
-      if (abort.load(std::memory_order_relaxed)) break;
-      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= static_cast<int>(grid.size())) break;
-      try {
-        results[static_cast<std::size_t>(i)] =
-            run_experiment_scenario(grid[static_cast<std::size_t>(i)], cfg,
-                                    i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        abort.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  const int workers = std::min<int>(cfg.threads,
-                                    static_cast<int>(grid.size()));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  // Scenario-level parallelism via the shared sweep pool: each scenario is
+  // co-simulated end to end by one worker into its preassigned slot, so
+  // the merge is the identity and any schedule yields identical results.
+  // The pool captures a scenario failure (e.g. a singular factorization
+  // from a pathological config) and rethrows it after the join.
+  sweep::parallel_for_scenarios(
+      static_cast<std::int64_t>(grid.size()), cfg.threads,
+      [&](std::int64_t i) {
+        results[static_cast<std::size_t>(i)] = run_experiment_scenario(
+            grid[static_cast<std::size_t>(i)], cfg, static_cast<int>(i));
+      });
   return results;
+}
+
+namespace {
+
+// Record layout for the sweep service: counts as raw words, temperatures
+// as pack_double bit patterns, so records round-trip bit-exactly through
+// the hex-string JSON transport.
+enum ExperimentWord {
+  kOrbitLength = 0,
+  kFineNodes,
+  kStaticPeak,
+  kPeakTemp,
+  kReduction,
+  kMeanTemp,
+  kRipple,
+  kSteadyPeakOfAvg,
+  kOrbitsRun,
+  kConverged,
+};
+constexpr int kExperimentRecordWords = 10;
+
+}  // namespace
+
+sweep::SweepSpec make_experiment_sweep_spec(
+    const ExperimentSweepConfig& cfg) {
+  cfg.validate();
+  sweep::SweepSpec spec;
+  const auto grid =
+      std::make_shared<const std::vector<ExperimentScenario>>(
+          cfg.scenarios());
+  spec.enumerated = static_cast<std::int64_t>(grid->size());
+  spec.record_words = kExperimentRecordWords;
+
+  // Everything a scenario's results depend on feeds the digest; threads
+  // (and the service's shard/checkpoint geometry) are excluded because
+  // results are invariant in them — a checkpoint written at one thread
+  // count must resume at another.
+  sweep::DigestBuilder digest;
+  digest.fold_string("experiment");
+  digest.fold(cfg.seed);
+  digest.fold_int(cfg.dim.width);
+  digest.fold_int(cfg.dim.height);
+  digest.fold_real(cfg.tile_area);
+  for (const MigrationScheme s : cfg.schemes)
+    digest.fold_int(static_cast<int>(s));
+  for (const double p : cfg.periods_s) digest.fold_real(p);
+  for (const double s : cfg.power_scales) digest.fold_real(s);
+  for (const int r : cfg.refines) digest.fold_int(r);
+  digest.fold_int(static_cast<long long>(cfg.base_tile_power.size()));
+  for (const double w : cfg.base_tile_power) digest.fold_real(w);
+  digest.fold_real(cfg.synthetic_tile_power_w);
+  digest.fold_real(cfg.power_jitter);
+  digest.fold_real(cfg.migration_energy_j);
+  digest.fold_real(cfg.thermal.dt_s);
+  digest.fold_int(cfg.thermal.min_orbits);
+  digest.fold_int(cfg.thermal.max_orbits);
+  digest.fold_real(cfg.thermal.tol_c);
+  digest.fold_real(cfg.hotspot.t_die);
+  digest.fold_real(cfg.hotspot.k_die);
+  digest.fold_real(cfg.hotspot.c_die);
+  digest.fold_real(cfg.hotspot.t_interface);
+  digest.fold_real(cfg.hotspot.k_interface);
+  digest.fold_real(cfg.hotspot.s_spreader);
+  digest.fold_real(cfg.hotspot.t_spreader);
+  digest.fold_real(cfg.hotspot.s_sink);
+  digest.fold_real(cfg.hotspot.t_sink);
+  digest.fold_real(cfg.hotspot.r_convec);
+  spec.config_digest = digest.digest();
+
+  spec.make_runner = [&cfg, grid]() {
+    return [&cfg, grid](std::int64_t scenario, std::uint64_t* words) {
+      const ExperimentSweepPoint p = run_experiment_scenario(
+          (*grid)[static_cast<std::size_t>(scenario)], cfg,
+          static_cast<int>(scenario));
+      words[kOrbitLength] = static_cast<std::uint64_t>(p.orbit_length);
+      words[kFineNodes] = static_cast<std::uint64_t>(p.fine_nodes);
+      words[kStaticPeak] = sweep::pack_double(p.static_peak_c);
+      words[kPeakTemp] = sweep::pack_double(p.peak_temp_c);
+      words[kReduction] = sweep::pack_double(p.reduction_c);
+      words[kMeanTemp] = sweep::pack_double(p.mean_temp_c);
+      words[kRipple] = sweep::pack_double(p.ripple_c);
+      words[kSteadyPeakOfAvg] = sweep::pack_double(p.steady_peak_of_avg_c);
+      words[kOrbitsRun] = static_cast<std::uint64_t>(p.orbits_run);
+      words[kConverged] = p.converged ? 1u : 0u;
+    };
+  };
+  return spec;
+}
+
+ExperimentSweepPoint experiment_point_from_record(
+    const ExperimentScenario& scenario, const sweep::ScenarioRecord& rec) {
+  RENOC_CHECK_MSG(rec.outcome == sweep::Outcome::kCompleted,
+                  "cannot decode a " << sweep::to_string(rec.outcome)
+                                     << " record into a sweep point");
+  RENOC_CHECK_MSG(
+      rec.words.size() == static_cast<std::size_t>(kExperimentRecordWords),
+      "experiment record must have " << kExperimentRecordWords
+                                     << " words, got " << rec.words.size());
+  ExperimentSweepPoint p;
+  p.scenario = scenario;
+  p.scenario_index = static_cast<int>(rec.scenario);
+  p.orbit_length = static_cast<int>(rec.words[kOrbitLength]);
+  p.fine_nodes = static_cast<int>(rec.words[kFineNodes]);
+  p.static_peak_c = sweep::unpack_double(rec.words[kStaticPeak]);
+  p.peak_temp_c = sweep::unpack_double(rec.words[kPeakTemp]);
+  p.reduction_c = sweep::unpack_double(rec.words[kReduction]);
+  p.mean_temp_c = sweep::unpack_double(rec.words[kMeanTemp]);
+  p.ripple_c = sweep::unpack_double(rec.words[kRipple]);
+  p.steady_peak_of_avg_c = sweep::unpack_double(rec.words[kSteadyPeakOfAvg]);
+  p.orbits_run = static_cast<int>(rec.words[kOrbitsRun]);
+  p.converged = rec.words[kConverged] != 0;
+  return p;
 }
 
 }  // namespace renoc

@@ -33,6 +33,7 @@
 #include "floorplan/grid.hpp"
 #include "thermal/hotspot_params.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 namespace renoc {
 
@@ -119,5 +120,17 @@ std::vector<double> experiment_scenario_power(
 ExperimentSweepPoint run_experiment_scenario(
     const ExperimentScenario& scenario, const ExperimentSweepConfig& cfg,
     int scenario_index);
+
+/// Sweep-service spec for the same sweep: one scenario per grid cell in
+/// scenarios() order, 10-word records (counts raw, temperatures as
+/// pack_double bit patterns). Results are bit-identical to
+/// run_experiment_sweep's for any shard split or resume schedule. `cfg`
+/// must outlive the spec.
+sweep::SweepSpec make_experiment_sweep_spec(const ExperimentSweepConfig& cfg);
+
+/// Decodes a kCompleted service record back into the ExperimentSweepPoint
+/// run_experiment_sweep would have produced for that scenario.
+ExperimentSweepPoint experiment_point_from_record(
+    const ExperimentScenario& scenario, const sweep::ScenarioRecord& rec);
 
 }  // namespace renoc

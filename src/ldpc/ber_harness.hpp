@@ -27,6 +27,7 @@
 #include "ldpc/code.hpp"
 #include "ldpc/encoder.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 namespace renoc {
 
@@ -84,5 +85,23 @@ std::vector<BerPoint> run_ber_sweep(const LdpcCode& code,
 /// measured (e.g. to re-decode them on the NoC decoder and compare).
 /// O(1): the stream seed is a stateless mix of the three coordinates.
 Rng ber_block_rng(std::uint64_t seed, int point, int block);
+
+/// Sweep-service spec for the same sweep: one scenario per (point, block)
+/// job (scenario = point * blocks_per_point + block — the exact job index
+/// run_ber_sweep enumerates), 4-word records {bits, bit_errors,
+/// block_error, iterations_run}. Scenario streams and decode results are
+/// bit-identical to run_ber_sweep's, so ber_points_from_records() of a
+/// service run equals run_ber_sweep() exactly, for any shard split or
+/// resume schedule. `code`, `encoder`, and `cfg` must outlive the spec.
+sweep::SweepSpec make_ber_sweep_spec(const LdpcCode& code,
+                                     const LdpcEncoder& encoder,
+                                     const BerConfig& cfg);
+
+/// Folds a merged service run back into run_ber_sweep()'s result shape.
+/// Only kCompleted records contribute (a partial run yields partial
+/// counts; the caller sees what is missing in MergeResult::incomplete).
+std::vector<BerPoint> ber_points_from_records(
+    const BerConfig& cfg,
+    const std::vector<sweep::ScenarioRecord>& records);
 
 }  // namespace renoc

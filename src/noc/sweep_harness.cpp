@@ -1,21 +1,18 @@
 #include "noc/sweep_harness.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <memory>
 
 #include "util/check.hpp"
 
 namespace renoc {
 
 void SweepConfig::validate() const {
-  RENOC_CHECK_MSG(!patterns.empty(), "sweep needs at least one pattern");
-  RENOC_CHECK_MSG(!mesh_sides.empty(), "sweep needs at least one mesh side");
-  RENOC_CHECK_MSG(!injection_rates.empty(),
-                  "sweep needs at least one injection rate");
-  RENOC_CHECK_MSG(!message_words.empty(),
-                  "sweep needs at least one message length");
+  // Axis and thread checks come from util/sweep so all three harnesses
+  // fail with the same pinned messages (sweep_test asserts on them).
+  sweep::require_axis(!patterns.empty(), "pattern");
+  sweep::require_axis(!mesh_sides.empty(), "mesh side");
+  sweep::require_axis(!injection_rates.empty(), "injection rate");
+  sweep::require_axis(!message_words.empty(), "message length");
   for (int side : mesh_sides)
     RENOC_CHECK_MSG(side >= 2, "mesh side must be >= 2, got " << side);
   for (double rate : injection_rates)
@@ -23,10 +20,9 @@ void SweepConfig::validate() const {
                     "injection rate must be in (0, 1], got " << rate);
   for (int words : message_words)
     RENOC_CHECK_MSG(words >= 1, "message length must be >= 1");
-  RENOC_CHECK_MSG(!fault_counts.empty(), "sweep needs at least one fault count");
-  RENOC_CHECK_MSG(!fault_kinds.empty(), "sweep needs at least one fault kind");
-  RENOC_CHECK_MSG(!retry_budgets.empty(),
-                  "sweep needs at least one retry budget");
+  sweep::require_axis(!fault_counts.empty(), "fault count");
+  sweep::require_axis(!fault_kinds.empty(), "fault kind");
+  sweep::require_axis(!retry_budgets.empty(), "retry budget");
   for (int budget : retry_budgets)
     RENOC_CHECK_MSG(budget >= kGuardDisabled,
                     "retry budget must be >= -1, got " << budget);
@@ -46,7 +42,7 @@ void SweepConfig::validate() const {
   RENOC_CHECK(warmup_cycles >= 0);
   RENOC_CHECK(measure_cycles >= 1);
   RENOC_CHECK(drain_max_cycles >= 1);
-  RENOC_CHECK(threads >= 1);
+  sweep::require_threads(threads);
   burst.validate();
   // TrafficGenerator's own precondition, hoisted here so an infeasible
   // burst/rate combination fails up front instead of inside a worker.
@@ -60,28 +56,36 @@ void SweepConfig::validate() const {
 }
 
 std::vector<SweepScenario> SweepConfig::scenarios() const {
+  // Enumerate through the shared row-major index decoder (pattern-major,
+  // fault axes innermost — byte-identical to the nested loops this
+  // replaced), so a scenario index means the same cell here, in the
+  // service's shards, and in any replay.
+  const std::vector<std::int64_t> shape = {
+      static_cast<std::int64_t>(patterns.size()),
+      static_cast<std::int64_t>(mesh_sides.size()),
+      static_cast<std::int64_t>(injection_rates.size()),
+      static_cast<std::int64_t>(message_words.size()),
+      static_cast<std::int64_t>(fault_counts.size()),
+      static_cast<std::int64_t>(fault_kinds.size()),
+      static_cast<std::int64_t>(retry_budgets.size())};
+  const std::int64_t total = sweep::axis_product(shape);
   std::vector<SweepScenario> out;
-  out.reserve(patterns.size() * mesh_sides.size() * injection_rates.size() *
-              message_words.size() * fault_counts.size() *
-              fault_kinds.size() * retry_budgets.size());
-  for (TrafficPattern pattern : patterns)
-    for (int side : mesh_sides)
-      for (double rate : injection_rates)
-        for (int words : message_words)
-          for (int faults : fault_counts)
-            for (FaultKind kind : fault_kinds)
-              for (int budget : retry_budgets) {
-                SweepScenario sc;
-                sc.pattern = pattern;
-                sc.dim = GridDim{side, side};
-                sc.injection_rate = rate;
-                sc.message_words = words;
-                sc.burst = burst;
-                sc.fault_count = faults;
-                sc.fault_kind = kind;
-                sc.retry_budget = budget;
-                out.push_back(sc);
-              }
+  out.reserve(static_cast<std::size_t>(total));
+  std::vector<std::int64_t> d;
+  for (std::int64_t i = 0; i < total; ++i) {
+    sweep::decode_scenario_index(i, shape, d);
+    SweepScenario sc;
+    sc.pattern = patterns[static_cast<std::size_t>(d[0])];
+    const int side = mesh_sides[static_cast<std::size_t>(d[1])];
+    sc.dim = GridDim{side, side};
+    sc.injection_rate = injection_rates[static_cast<std::size_t>(d[2])];
+    sc.message_words = message_words[static_cast<std::size_t>(d[3])];
+    sc.burst = burst;
+    sc.fault_count = fault_counts[static_cast<std::size_t>(d[4])];
+    sc.fault_kind = fault_kinds[static_cast<std::size_t>(d[5])];
+    sc.retry_budget = retry_budgets[static_cast<std::size_t>(d[6])];
+    out.push_back(sc);
+  }
   return out;
 }
 
@@ -200,43 +204,129 @@ std::vector<SweepPoint> run_noc_sweep(const SweepConfig& cfg) {
   const std::vector<SweepScenario> grid = cfg.scenarios();
   std::vector<SweepPoint> results(grid.size());
 
-  // Scenario-level parallelism: each scenario is simulated end to end by
-  // one worker into its preassigned slot, so the merge is the identity and
-  // any schedule yields identical results. A scenario failure (e.g. drain
-  // timeout) is captured and rethrown after the join — an exception
-  // escaping a worker thread would std::terminate the process.
-  std::atomic<int> cursor{0};
-  std::atomic<bool> abort{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    for (;;) {
-      if (abort.load(std::memory_order_relaxed)) break;
-      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= static_cast<int>(grid.size())) break;
-      try {
+  // Scenario-level parallelism (util/sweep): each scenario is simulated
+  // end to end by one worker into its preassigned slot, so the merge is
+  // the identity and any schedule yields identical results; the first
+  // scenario failure (e.g. drain timeout) aborts the rest and is rethrown
+  // after the join.
+  sweep::parallel_for_scenarios(
+      static_cast<std::int64_t>(grid.size()), cfg.threads,
+      [&](std::int64_t i) {
         results[static_cast<std::size_t>(i)] =
-            run_noc_scenario(grid[static_cast<std::size_t>(i)], cfg, i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        abort.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  const int workers = std::min<int>(cfg.threads,
-                                    static_cast<int>(grid.size()));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+            run_noc_scenario(grid[static_cast<std::size_t>(i)], cfg,
+                             static_cast<int>(i));
+      });
   return results;
+}
+
+namespace {
+
+// Service-record layout: one 16-word record per grid cell.
+enum NocWord {
+  kMessagesSent = 0,
+  kMessagesReceived,
+  kMessagesSkipped,
+  kPacketsDelivered,
+  kFlitsDelivered,
+  kOfferedRate,
+  kInjectedRate,
+  kAcceptedRate,
+  kAvgLatency,
+  kMaxLatency,
+  kCycles,
+  kPacketsRetried,
+  kPacketsDropped,
+  kPacketsUnreachable,
+  kDuplicatesSuppressed,
+  kRouteEpochs,
+};
+constexpr int kNocRecordWords = 16;
+
+}  // namespace
+
+sweep::SweepSpec make_noc_sweep_spec(const SweepConfig& cfg) {
+  cfg.validate();
+  sweep::SweepSpec spec;
+  const auto grid =
+      std::make_shared<const std::vector<SweepScenario>>(cfg.scenarios());
+  spec.enumerated = static_cast<std::int64_t>(grid->size());
+  spec.record_words = kNocRecordWords;
+  // Fingerprint everything that determines a scenario's measurement;
+  // threads are excluded (results are thread-count invariant).
+  sweep::DigestBuilder digest;
+  digest.fold_string("noc").fold(cfg.seed);
+  for (const TrafficPattern p : cfg.patterns)
+    digest.fold_int(static_cast<int>(p));
+  for (const int side : cfg.mesh_sides) digest.fold_int(side);
+  for (const double rate : cfg.injection_rates) digest.fold_real(rate);
+  for (const int words : cfg.message_words) digest.fold_int(words);
+  for (const int count : cfg.fault_counts) digest.fold_int(count);
+  for (const FaultKind kind : cfg.fault_kinds)
+    digest.fold_int(static_cast<int>(kind));
+  for (const int budget : cfg.retry_budgets) digest.fold_int(budget);
+  digest.fold_int(cfg.burst.enabled ? 1 : 0)
+      .fold_real(cfg.burst.p_on_to_off)
+      .fold_real(cfg.burst.p_off_to_on)
+      .fold_int(cfg.buffer_depth)
+      .fold_int(cfg.warmup_cycles)
+      .fold_int(cfg.measure_cycles)
+      .fold_int(cfg.drain_max_cycles);
+  spec.config_digest = digest.digest();
+
+  spec.make_runner = [grid, &cfg]() {
+    return [grid, &cfg](std::int64_t scenario, std::uint64_t* words) {
+      const SweepPoint point = run_noc_scenario(
+          (*grid)[static_cast<std::size_t>(scenario)], cfg,
+          static_cast<int>(scenario));
+      words[kMessagesSent] = point.messages_sent;
+      words[kMessagesReceived] = point.messages_received;
+      words[kMessagesSkipped] = point.messages_skipped;
+      words[kPacketsDelivered] = point.packets_delivered;
+      words[kFlitsDelivered] = point.flits_delivered;
+      words[kOfferedRate] = sweep::pack_double(point.offered_flit_rate);
+      words[kInjectedRate] = sweep::pack_double(point.injected_flit_rate);
+      words[kAcceptedRate] = sweep::pack_double(point.accepted_flit_rate);
+      words[kAvgLatency] = sweep::pack_double(point.avg_latency_cycles);
+      words[kMaxLatency] = sweep::pack_double(point.max_latency_cycles);
+      words[kCycles] = point.cycles;
+      words[kPacketsRetried] = point.packets_retried;
+      words[kPacketsDropped] = point.packets_dropped;
+      words[kPacketsUnreachable] = point.packets_unreachable;
+      words[kDuplicatesSuppressed] = point.duplicates_suppressed;
+      words[kRouteEpochs] = static_cast<std::uint64_t>(point.route_epochs);
+    };
+  };
+  return spec;
+}
+
+SweepPoint noc_point_from_record(const SweepScenario& scenario,
+                                 const sweep::ScenarioRecord& rec) {
+  RENOC_CHECK_MSG(rec.outcome == sweep::Outcome::kCompleted &&
+                      rec.words.size() == kNocRecordWords,
+                  "NoC record for scenario " << rec.scenario
+                                             << " is not a completed "
+                                             << kNocRecordWords
+                                             << "-word record");
+  SweepPoint point;
+  point.scenario = scenario;
+  point.scenario_index = static_cast<int>(rec.scenario);
+  point.messages_sent = rec.words[kMessagesSent];
+  point.messages_received = rec.words[kMessagesReceived];
+  point.messages_skipped = rec.words[kMessagesSkipped];
+  point.packets_delivered = rec.words[kPacketsDelivered];
+  point.flits_delivered = rec.words[kFlitsDelivered];
+  point.offered_flit_rate = sweep::unpack_double(rec.words[kOfferedRate]);
+  point.injected_flit_rate = sweep::unpack_double(rec.words[kInjectedRate]);
+  point.accepted_flit_rate = sweep::unpack_double(rec.words[kAcceptedRate]);
+  point.avg_latency_cycles = sweep::unpack_double(rec.words[kAvgLatency]);
+  point.max_latency_cycles = sweep::unpack_double(rec.words[kMaxLatency]);
+  point.cycles = rec.words[kCycles];
+  point.packets_retried = rec.words[kPacketsRetried];
+  point.packets_dropped = rec.words[kPacketsDropped];
+  point.packets_unreachable = rec.words[kPacketsUnreachable];
+  point.duplicates_suppressed = rec.words[kDuplicatesSuppressed];
+  point.route_epochs = static_cast<int>(rec.words[kRouteEpochs]);
+  return point;
 }
 
 }  // namespace renoc

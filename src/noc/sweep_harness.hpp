@@ -28,6 +28,7 @@
 #include "noc/fault_model.hpp"
 #include "noc/traffic.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
 
 namespace renoc {
 
@@ -127,5 +128,17 @@ Rng sweep_scenario_rng(std::uint64_t seed, int scenario_index);
 /// run_noc_scenario(cfg.scenarios()[i], cfg, i) for every i.
 SweepPoint run_noc_scenario(const SweepScenario& scenario,
                             const SweepConfig& cfg, int scenario_index);
+
+/// Sweep-service spec for the same sweep: one scenario per grid cell in
+/// scenarios() order, 16-word records (counts raw, rates/latencies as
+/// pack_double bit patterns). Results are bit-identical to
+/// run_noc_sweep's for any shard split or resume schedule. `cfg` must
+/// outlive the spec.
+sweep::SweepSpec make_noc_sweep_spec(const SweepConfig& cfg);
+
+/// Decodes a kCompleted service record back into the SweepPoint
+/// run_noc_sweep would have produced for that scenario.
+SweepPoint noc_point_from_record(const SweepScenario& scenario,
+                                 const sweep::ScenarioRecord& rec);
 
 }  // namespace renoc

@@ -1,15 +1,99 @@
 #include "util/json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "util/check.hpp"
 
 namespace renoc {
+
+// ---------------------------------------------------------------------------
+// Atomic publication
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// POSIX close that never masks the primary error path.
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  // Same directory as the target, so the final rename cannot cross a
+  // filesystem boundary; pid-suffixed so concurrent writers (e.g. sweep
+  // shards flushing into one checkpoint directory) never share a temp.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  RENOC_CHECK_MSG(fd >= 0, "atomic write: cannot create " << tmp << ": "
+                                                          << std::strerror(errno));
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close_quietly(fd);
+      ::unlink(tmp.c_str());
+      RENOC_FAIL("atomic write: write to " << tmp << " failed: "
+                                           << std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Data must be durable *before* the rename publishes the name — rename
+  // first and a crash could legally expose an empty file under `path`.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    close_quietly(fd);
+    ::unlink(tmp.c_str());
+    RENOC_FAIL("atomic write: fsync " << tmp << " failed: "
+                                      << std::strerror(err));
+  }
+  close_quietly(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    RENOC_FAIL("atomic write: rename to " << path << " failed: "
+                                          << std::strerror(err));
+  }
+  // Durable directory entry (best effort: some filesystems refuse
+  // directory fsync; the rename itself is already atomic for readers).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    close_quietly(dfd);
+  }
+}
+
+void AtomicFile::commit() {
+  RENOC_CHECK_MSG(!committed_, "AtomicFile: double commit of " << path_);
+  committed_ = true;
+  write_file_atomic(path_, buffer_.str());
+}
+
+void write_json_atomic(const std::string& path,
+                       const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream buffer;
+  {
+    JsonWriter w(buffer);
+    body(w);
+  }
+  write_file_atomic(path, buffer.str());
+}
 
 // ---------------------------------------------------------------------------
 // JsonWriter

@@ -17,10 +17,19 @@
 //                    |golden|) (temperatures may wobble with libm), and
 //                    keys named "ms" or ending in "_ms" are skipped
 //                    entirely (wall-clock timing is not a result).
+//
+// Artifacts are also *published* through this module: write_file_atomic /
+// AtomicFile / write_json_atomic stage the bytes in a temp file, fsync,
+// and rename over the target, so a reader (or a crashed writer) never
+// observes a half-written JSON file. The renoc_lint rule
+// atomic-artifact-write bans direct ofstream writes of artifacts outside
+// these helpers.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +100,46 @@ struct JsonValue {
   /// Object lookup; returns nullptr when absent (or not an object).
   const JsonValue* find(std::string_view k) const;
 };
+
+/// Atomically replaces `path` with `content`: the bytes go to a
+/// pid-suffixed temp file in the same directory, are fsync'd, and the temp
+/// is renamed over the target (then the directory entry is fsync'd). A
+/// concurrent reader sees either the old file or the complete new one —
+/// never a prefix — and a crash mid-write leaves the old file intact.
+/// Throws CheckError on any IO failure.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Streaming front end to write_file_atomic: bytes written to stream()
+/// are buffered in memory and published atomically by commit(). Without a
+/// commit() the destructor discards the buffer and the target is
+/// untouched — a bench that dies mid-record leaves no torn artifact.
+///
+///   AtomicFile out("BENCH_x.json");
+///   JsonWriter json(out.stream());
+///   ... stream the document ...
+///   out.commit();
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path) : path_(std::move(path)) {}
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  std::ostream& stream() { return buffer_; }
+
+  /// Publishes the buffered bytes (write_file_atomic). Call exactly once.
+  void commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper for whole-document writers: runs `body` against a
+/// JsonWriter over an in-memory buffer, then publishes atomically.
+void write_json_atomic(const std::string& path,
+                       const std::function<void(JsonWriter&)>& body);
 
 /// Parses a complete JSON document. Throws CheckError on malformed input
 /// or trailing garbage.

@@ -230,6 +230,42 @@ TEST(EngineUnorderedMapTest, BansHashMapsInFlatEngines) {
   EXPECT_TRUE(lint_source("src/noc/reference_fabric2.hpp", src).empty());
 }
 
+// --- atomic-artifact-write --------------------------------------------------
+
+TEST(AtomicArtifactWriteTest, BansDirectOfstreamInArtifactProducers) {
+  const std::string src = "std::ofstream out(args.json_path);\n";
+  for (const char* path : {"src/core/experiment_sweep.cpp",
+                           "bench/micro_ldpc.cpp", "examples/ber_sweep.cpp"}) {
+    const auto findings = lint_source(path, src);
+    ASSERT_EQ(findings.size(), 1u) << path;
+    EXPECT_EQ(findings[0].rule, "atomic-artifact-write") << path;
+    EXPECT_NE(findings[0].message.find("AtomicFile"), std::string::npos);
+  }
+}
+
+TEST(AtomicArtifactWriteTest, QuietOutsideArtifactScopeAndInJsonImpl) {
+  const std::string src = "std::ofstream out(path);\n";
+  // tools and tests stage scratch files on purpose; util/json IS the
+  // atomic writer, so the underlying ofstream lives there.
+  EXPECT_TRUE(lint_source("tools/renoc_sweep.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tests/sweep_test.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/util/json.cpp", src).empty());
+  // Mentions that are not the token (comments, strings, other words).
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "// ofstream is banned here\n").empty());
+  EXPECT_TRUE(
+      lint_source("src/core/x.cpp", "log(\"std::ofstream\");\n").empty());
+  EXPECT_TRUE(lint_source("src/core/x.cpp", "int my_ofstream_id;\n").empty());
+}
+
+TEST(AtomicArtifactWriteTest, SuppressibleWithJustification) {
+  const std::string src =
+      "std::ofstream raw(dump_path);  "
+      "// renoc-lint-allow(atomic-artifact-write): debug dump, not an "
+      "artifact\n";
+  EXPECT_TRUE(lint_source("bench/micro_noc.cpp", src).empty());
+}
+
 // --- route-rebuild ---------------------------------------------------------
 
 TEST(RouteRebuildTest, FiresOnTableRebuildInsideHotRegions) {

@@ -22,7 +22,8 @@ constexpr std::string_view kAllowMarker = "renoc-lint-allow";
 const std::set<std::string, std::less<>>& suppressible_rules() {
   static const std::set<std::string, std::less<>> rules = {
       "hot-alloc", "raw-random", "ring-modulo", "engine-unordered-map",
-      "route-rebuild", "simd-intrinsics", "todo-tag"};
+      "route-rebuild", "simd-intrinsics", "todo-tag",
+      "atomic-artifact-write"};
   return rules;
 }
 
@@ -112,6 +113,7 @@ struct FileScope {
   bool rng_impl = false;     ///< util/rng itself: the one home for raw bits
   bool engine_dir = false;   ///< src/noc or src/ldpc flat engines
   bool simd_home = false;    ///< util/simd*: the one home for raw intrinsics
+  bool artifact_scope = false;  ///< ofstream ban: shipped code and benches
 };
 
 FileScope classify(std::string_view path) {
@@ -121,6 +123,13 @@ FileScope classify(std::string_view path) {
   s.rng_impl = path.find("util/rng.") != std::string_view::npos;
   s.engine_dir = path_in(path, "src/noc/") || path_in(path, "src/ldpc/");
   s.simd_home = path.find("util/simd") != std::string_view::npos;
+  // Artifact writes must go through util/json's atomic publisher so a
+  // crash never leaves a torn JSON file. util/json itself is the one home
+  // for the raw write path; tools and tests (goldens, fixtures,
+  // deliberately corrupted checkpoints) stay exempt.
+  s.artifact_scope = (s.in_src || path_in(path, "bench/") ||
+                      path_in(path, "examples/")) &&
+                     path.find("util/json.") == std::string_view::npos;
   return s;
 }
 
@@ -439,6 +448,14 @@ std::vector<Finding> lint_source(std::string_view path,
           break;
         }
       }
+    }
+
+    if (scope.artifact_scope && !is_allowed(lineno, "atomic-artifact-write") &&
+        contains_word(code_line, "ofstream")) {
+      emit(lineno, "atomic-artifact-write",
+           "'ofstream' publishes bytes in place — a crash mid-write leaves "
+           "a torn artifact; write through util/json's AtomicFile / "
+           "write_json_atomic (temp + fsync + rename) instead");
     }
 
     if (scope.engine_dir && !scope.reference &&
